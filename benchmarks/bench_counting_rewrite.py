@@ -1,0 +1,130 @@
+"""E4 -- Appendix A.5: regenerate the GC rewrites and their
+semijoin-optimized forms; statically flag nonlinear ancestor
+(A.5.2: "the counting strategy does not terminate in this example").
+"""
+
+import pytest
+
+from repro import (
+    adorn_program,
+    counting_safety,
+    rewrite,
+    semijoin_optimize,
+)
+from repro.workloads import (
+    ancestor_program,
+    ancestor_query,
+    integer_list,
+    list_reverse_program,
+    nested_samegen_program,
+    nested_samegen_query,
+    nonlinear_ancestor_program,
+    nonlinear_samegen_program,
+    reverse_query,
+    samegen_query,
+)
+
+from conftest import canonical_rules, print_table
+
+EXPECTED_PLAIN = {
+    "ancestor": [
+        "anc_ix_bf(A, B, C, D, E) :- cnt_anc_bf(A, B, C, D), par(D, E).",
+        "anc_ix_bf(A, B, C, D, E) :- cnt_anc_bf(A, B, C, D), par(D, F), "
+        "anc_ix_bf(A+1, 2*B+2, 2*C+2, F, E).",
+        "cnt_anc_bf(A+1, 2*B+2, 2*C+2, D) :- cnt_anc_bf(A, B, C, E), "
+        "par(E, D).",
+    ],
+    "nonlinear_samegen": [
+        "cnt_sg_bf(A+1, 2*B+2, 5*C+2, D) :- cnt_sg_bf(A, B, C, E), up(E, D).",
+        "cnt_sg_bf(A+1, 2*B+2, 5*C+4, D) :- cnt_sg_bf(A, B, C, E), "
+        "up(E, F), sg_ix_bf(A+1, 2*B+2, 5*C+2, F, G), flat(G, D).",
+        "sg_ix_bf(A, B, C, D, E) :- cnt_sg_bf(A, B, C, D), flat(D, E).",
+        "sg_ix_bf(A, B, C, D, E) :- cnt_sg_bf(A, B, C, D), up(D, F), "
+        "sg_ix_bf(A+1, 2*B+2, 5*C+2, F, G), flat(G, H), "
+        "sg_ix_bf(A+1, 2*B+2, 5*C+4, H, I), down(I, E).",
+    ],
+}
+
+EXPECTED_SEMIJOIN = {
+    "ancestor": [
+        "anc_ix_bf(A, B, C, D) :- anc_ix_bf(A+1, 2*B+2, 2*C+2, D).",
+        "anc_ix_bf(A, B, C, D) :- cnt_anc_bf(A, B, C, E), par(E, D).",
+        "cnt_anc_bf(A+1, 2*B+2, 2*C+2, D) :- cnt_anc_bf(A, B, C, E), "
+        "par(E, D).",
+    ],
+    "nonlinear_samegen": [
+        "cnt_sg_bf(A+1, 2*B+2, 5*C+2, D) :- cnt_sg_bf(A, B, C, E), up(E, D).",
+        "cnt_sg_bf(A+1, 2*B+2, 5*C+4, D) :- "
+        "sg_ix_bf(A+1, 2*B+2, 5*C+2, E), flat(E, D).",
+        "sg_ix_bf(A, B, C, D) :- cnt_sg_bf(A, B, C, E), flat(E, D).",
+        "sg_ix_bf(A, B, C, D) :- sg_ix_bf(A+1, 2*B+2, 5*C+4, E), down(E, D).",
+    ],
+}
+
+CASES = {
+    "ancestor": (ancestor_program, lambda: ancestor_query("john")),
+    "nonlinear_samegen": (
+        nonlinear_samegen_program,
+        lambda: samegen_query("john"),
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_gc_rewrite_matches_paper(benchmark, name):
+    program_maker, query_maker = CASES[name]
+    program, query = program_maker(), query_maker()
+    rewritten = benchmark(lambda: rewrite(program, query, method="counting"))
+    assert canonical_rules(rewritten) == sorted(EXPECTED_PLAIN[name])
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_gc_semijoin_matches_paper(benchmark, name):
+    program_maker, query_maker = CASES[name]
+    program, query = program_maker(), query_maker()
+    plain = rewrite(program, query, method="counting")
+    optimized = benchmark(lambda: semijoin_optimize(plain))
+    assert canonical_rules(optimized) == sorted(EXPECTED_SEMIJOIN[name])
+    print_table(
+        f"A.5 GC + semijoin: {name}",
+        ["rule"],
+        [[rule] for rule in canonical_rules(optimized)],
+    )
+
+
+def test_gc_rewrites_the_remaining_appendix_problems(benchmark):
+    """Nested same-generation and list reverse also rewrite cleanly."""
+
+    def run():
+        out = {}
+        out["nested"] = rewrite(
+            nested_samegen_program(),
+            nested_samegen_query("john"),
+            method="counting",
+        )
+        out["reverse"] = rewrite(
+            list_reverse_program(),
+            reverse_query(integer_list(2)),
+            method="counting",
+        )
+        return out
+
+    results = benchmark(run)
+    assert len(results["nested"].rules) == 7
+    assert len(results["reverse"].rules) == 7
+
+
+def test_nonlinear_ancestor_flagged_nonterminating(benchmark):
+    """A.5.2: counting does not terminate; Theorem 10.3 certifies it
+    statically (cyclic reachable argument graph)."""
+    adorned = adorn_program(
+        nonlinear_ancestor_program(), ancestor_query("john")
+    )
+    report = benchmark(lambda: counting_safety(adorned))
+    assert report.safe is False
+    assert report.theorem == "10.3"
+    print_table(
+        "A.5.2 verdict",
+        ["program", "safe", "theorem"],
+        [["nonlinear ancestor + counting", report.safe, report.theorem]],
+    )

@@ -1,0 +1,72 @@
+"""Substrate ablation: naive vs semi-naive vs magic across data sizes.
+
+Not a paper artifact by itself, but the paper's Section 1 discussion
+presumes the bottom-up substrate: semi-naive evaluation avoids naive's
+re-derivations, and the rewrites then shrink what is derived at all.
+This bench quantifies both steps so the E6/E11 numbers have a baseline.
+"""
+
+import pytest
+
+from repro import answer_query, bottom_up_answer
+from repro.workloads import ancestor_program, ancestor_query, chain_database
+
+from conftest import print_table
+
+SIZES = [20, 40, 80]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_engine_scaling(benchmark, size):
+    program = ancestor_program()
+    db = chain_database(size)
+    query = ancestor_query("n0")
+
+    rows = []
+    firings = {}
+    for method in ("naive", "seminaive", "magic"):
+        answer = answer_query(program, db, query, method=method)
+        firings[method] = answer.stats.rule_firings
+        rows.append(
+            [
+                method,
+                answer.stats.facts_derived,
+                answer.stats.rule_firings,
+                answer.stats.duplicate_derivations,
+            ]
+        )
+    # semi-naive fires each derivation once; naive re-fires every round
+    assert firings["seminaive"] < firings["naive"]
+    print_table(
+        f"engine ablation: ancestor on chain {size}",
+        ["strategy", "facts", "firings", "duplicates"],
+        rows,
+    )
+    benchmark(lambda: bottom_up_answer(program, db, query))
+
+
+def test_qsq_vs_magic_same_work_shape(benchmark):
+    """QSQ (tuple-at-a-time top-down) and magic (set-at-a-time bottom-up)
+    implement the same sips: their answers coincide, and magic's derived
+    facts equal QSQ's queries+answers (Theorem 9.1, timed here)."""
+    from repro import adorn_program, qsq_evaluate, rewrite
+    from repro.datalog.engine import evaluate
+
+    program = ancestor_program()
+    query = ancestor_query("n0")
+    db = chain_database(60)
+
+    adorned = adorn_program(program, query)
+    rewritten = rewrite(program, query, method="magic", adorned=adorned)
+
+    def run_qsq():
+        return qsq_evaluate(adorned.program, db, adorned.query_literal)
+
+    qsq = benchmark(run_qsq)
+    magic_result = evaluate(
+        rewritten.program, rewritten.seeded_database(db)
+    )
+    magic_facts = magic_result.database.tuples("anc^bf")
+    assert magic_facts == qsq.answers["anc^bf"]
+    magic_queries = magic_result.database.tuples("magic_anc_bf")
+    assert magic_queries == qsq.queries["anc^bf"]

@@ -1,0 +1,145 @@
+"""E11 -- the Section 11 discussion: relative merits of GMS/GSMS/GC/GSC.
+
+Three regenerated claims:
+
+1. GMS duplicates the joins of its magic rules inside the modified
+   rules; GSMS stores them, so GSMS scans fewer tuples (at the price of
+   extra supplementary facts).
+2. When every fact has a unique derivation (tree data, linear rules),
+   counting matches magic sets fact-for-fact after projecting the index
+   fields, and the semijoin-optimized counting program does strictly
+   less join work than magic sets.
+3. On cyclic data the counting methods diverge while the magic methods
+   terminate (also covered by E9; repeated here as part of the
+   comparison table).
+"""
+
+import pytest
+
+from repro import (
+    NonTerminationError,
+    answer_query,
+    evaluate,
+    rewrite,
+    semijoin_optimize,
+)
+from repro.workloads import (
+    ancestor_program,
+    ancestor_query,
+    chain_database,
+    cycle_database,
+    nonlinear_samegen_program,
+    samegen_database,
+    samegen_query,
+    tree_database,
+)
+
+from conftest import print_table
+
+
+def test_gsms_does_less_join_work_than_gms(benchmark):
+    program = nonlinear_samegen_program()
+    query = samegen_query("L0_0")
+    db = samegen_database(4, 6, flat_edges=10)
+
+    stats = {}
+    for method in ("magic", "supplementary_magic"):
+        answer = answer_query(
+            program, db, query, method=method, max_iterations=2000
+        )
+        stats[method] = answer.stats
+    assert (
+        stats["supplementary_magic"].tuples_scanned
+        < stats["magic"].tuples_scanned
+    )
+    assert (
+        stats["supplementary_magic"].facts_derived
+        > stats["magic"].facts_derived
+    ), "GSMS trades memory (supplementary facts) for join work"
+    rows = [
+        [m, s.facts_derived, s.rule_firings, s.tuples_scanned]
+        for m, s in stats.items()
+    ]
+    print_table(
+        "E11a GMS vs GSMS on nonlinear same-generation",
+        ["method", "facts", "firings", "tuples scanned"],
+        rows,
+    )
+    benchmark(
+        lambda: answer_query(
+            program, db, query, method="supplementary_magic",
+            max_iterations=2000,
+        )
+    )
+
+
+def test_counting_on_unique_derivations(benchmark):
+    """Tree data + linear rules: unique derivations, counting applies;
+    the semijoin-optimized program beats magic sets on join work."""
+    program = ancestor_program()
+    query = ancestor_query("r.0")
+    db = tree_database(7)
+
+    magic = rewrite(program, query, method="magic")
+    magic_result = evaluate(magic.program, magic.seeded_database(db))
+
+    optimized = semijoin_optimize(rewrite(program, query, method="counting"))
+    counting_result = evaluate(
+        optimized.program, optimized.seeded_database(db)
+    )
+    assert optimized.extract_answers(counting_result) == magic.extract_answers(
+        magic_result
+    )
+    rows = [
+        [
+            "magic",
+            magic_result.stats.facts_derived,
+            magic_result.stats.tuples_scanned,
+        ],
+        [
+            "counting+semijoin",
+            counting_result.stats.facts_derived,
+            counting_result.stats.tuples_scanned,
+        ],
+    ]
+    print_table(
+        "E11b magic vs semijoin-optimized counting (tree, unique "
+        "derivations)",
+        ["method", "facts", "tuples scanned"],
+        rows,
+    )
+    assert (
+        counting_result.stats.tuples_scanned
+        < magic_result.stats.tuples_scanned
+    )
+    benchmark(
+        lambda: evaluate(optimized.program, optimized.seeded_database(db))
+    )
+
+
+def test_counting_diverges_where_magic_terminates(benchmark):
+    program = ancestor_program()
+    query = ancestor_query("n0")
+    db = cycle_database(5)
+
+    def run():
+        magic = rewrite(program, query, method="magic")
+        evaluate(magic.program, magic.seeded_database(db))
+        counting = rewrite(program, query, method="counting")
+        try:
+            evaluate(
+                counting.program,
+                counting.seeded_database(db),
+                max_iterations=150,
+            )
+        except NonTerminationError:
+            return "diverged"
+        return "terminated"
+
+    outcome = benchmark(run)
+    assert outcome == "diverged"
+    print_table(
+        "E11c cyclic data",
+        ["method", "outcome"],
+        [["magic", "terminated"], ["counting", outcome]],
+    )

@@ -1,0 +1,57 @@
+"""Rewrite-time scaling: the transformations are compile-time program
+rewrites and must scale with program size.
+
+Measures adornment + rewrite time over synthetic layered programs of
+growing depth (2·depth rules) and asserts the output sizes grow
+linearly (each source rule yields a bounded number of rewritten rules).
+Also checks end-to-end answers against the baseline once per size.
+"""
+
+import pytest
+
+from repro import adorn_program, bottom_up_answer, evaluate, rewrite
+from repro.datalog.ast import Literal, Query
+from repro.datalog.terms import Constant, Variable
+from repro.workloads import synthetic_chain_database, synthetic_chain_program
+
+from conftest import print_table
+
+DEPTHS = [4, 16, 64]
+
+
+def chain_query():
+    return Query(Literal("p0", (Constant("n0"), Variable("Y"))))
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+@pytest.mark.parametrize(
+    "method", ["magic", "supplementary_magic", "counting"]
+)
+def test_rewrite_scales_linearly(benchmark, depth, method):
+    program = synthetic_chain_program(depth)
+    query = chain_query()
+    rewritten = benchmark(lambda: rewrite(program, query, method=method))
+    # bounded blow-up: each adorned rule yields at most 4 rewritten rules
+    adorned = adorn_program(program, query)
+    assert len(rewritten.rules) <= 4 * len(adorned.rules)
+    print_table(
+        f"rewrite scaling: depth={depth}, method={method}",
+        ["source rules", "adorned rules", "rewritten rules"],
+        [[len(program), len(adorned), len(rewritten.rules)]],
+    )
+
+
+@pytest.mark.parametrize("depth", [4, 16])
+def test_rewritten_program_answers_match(benchmark, depth):
+    program = synthetic_chain_program(depth)
+    query = chain_query()
+    db = synthetic_chain_database(depth, length=12)
+    baseline = bottom_up_answer(program, db, query)
+    rewritten = rewrite(program, query, method="supplementary_magic")
+
+    def run():
+        result = evaluate(rewritten.program, rewritten.seeded_database(db))
+        return rewritten.extract_answers(result)
+
+    answers = benchmark(run)
+    assert answers == baseline.answers

@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(see DESIGN.md's experiment index).  Besides timing via
+pytest-benchmark, each bench *asserts the shape* of the paper's claim
+and prints the regenerated table with ``-s``.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import List
+
+import pytest
+
+from repro import Variable
+from repro.core.provenance import RewrittenProgram
+
+
+def canonical_rule(rule) -> str:
+    names = list(string.ascii_uppercase) + [f"V{i}" for i in range(100)]
+    mapping = {}
+    for var in rule.variables():
+        mapping[var] = Variable(names[len(mapping)])
+    return str(rule.substitute(mapping))
+
+
+def canonical_rules(program) -> List[str]:
+    if isinstance(program, RewrittenProgram):
+        rules = [rr.rule for rr in program.rules]
+    else:
+        rules = [getattr(r, "rule", r) for r in program.rules]
+    return sorted(canonical_rule(rule) for rule in rules)
+
+
+def print_table(title: str, headers: List[str], rows: List[List[object]]) -> None:
+    print()
+    print(f"== {title}")
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    print("  " + "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print(
+            "  "
+            + "  ".join(str(v).ljust(w) for v, w in zip(row, widths))
+        )

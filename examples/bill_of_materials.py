@@ -1,0 +1,83 @@
+"""Bill-of-materials explosion: where the choice of sip matters.
+
+Scenario: ``uses(P, Q)`` says product P directly incorporates part Q.
+``needs(P, Q)`` is the transitive closure.  Two realistic queries:
+
+* ``needs(widget9000, Q)?``  -- which parts does a product pull in?
+  (binds the FIRST argument; the natural left-to-right sip fits)
+* ``needs(P, chip_x)?``      -- which products are affected by a part
+  recall?  (binds the SECOND argument; a left-to-right sip passes
+  nothing, but a greedy, binding-maximizing order inverts the join)
+
+The example shows adornments and rewrites under both orders, and the
+fact-count gap between an order that exploits the binding and one that
+does not -- the paper's point that the *sip* is a real degree of
+freedom, independent of control (Sections 2 and 11).
+
+Run::
+
+    python examples/bill_of_materials.py
+"""
+
+from repro import answer_query, bottom_up_answer, parse_program, parse_query
+from repro.core.sips import build_full_sip, greedy_order, sip_builder_with_order
+from repro.workloads import load_edges, tree_edges
+
+
+def show(title, answer):
+    print(
+        f"{title:<34} answers={len(answer.answers):>4}  "
+        f"facts={answer.stats.facts_derived:>5}  "
+        f"firings={answer.stats.rule_firings:>6}"
+    )
+
+
+def main() -> None:
+    program, _, _ = parse_program(
+        """
+        needs(P, Q) :- uses(P, Q).
+        needs(P, Q) :- uses(P, R), needs(R, Q).
+        """
+    )
+    # a product tree: every assembly uses 3 sub-assemblies, 5 levels deep
+    database = load_edges(tree_edges(5, fanout=3), relation="uses")
+
+    forward = parse_query("needs(r, Q)?")
+    print("== forward query (explode a product):", forward)
+    baseline = bottom_up_answer(program, database, forward)
+    show("semi-naive (whole closure)", baseline)
+    magic = answer_query(program, database, forward, method="magic")
+    assert magic.answers == baseline.answers
+    show("magic, left-to-right sip", magic)
+    print()
+
+    recall = parse_query('needs(P, "r.0.0.0")?')
+    print("== recall query (who uses this part?):", recall)
+    baseline = bottom_up_answer(program, database, recall)
+    show("semi-naive (whole closure)", baseline)
+
+    # left-to-right sip: the binding on the SECOND argument cannot be
+    # passed to `uses(P, R)` first, so the rewrite degenerates
+    ltr = answer_query(program, database, recall, method="magic")
+    assert ltr.answers == baseline.answers
+    show("magic, left-to-right sip", ltr)
+
+    # greedy order evaluates needs(R, Q) first (Q is bound), inverting
+    # the traversal: only the recalled part's cone is explored
+    greedy_builder = sip_builder_with_order(build_full_sip, greedy_order)
+    inverted = answer_query(
+        program, database, recall, method="magic", sip_builder=greedy_builder
+    )
+    assert inverted.answers == baseline.answers
+    show("magic, greedy (inverted) sip", inverted)
+
+    print()
+    print(
+        "The greedy sip turns the recall query into an upward walk from "
+        "the recalled part; the left-to-right sip cannot use the binding "
+        "and recomputes far more."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Same-generation queries over an organization chart.
+
+Scenario: ``up(E, M)`` says M is E's manager; ``flat(A, B)`` says A and
+B sit on the same cross-team committee; ``down`` mirrors ``up``.  Two
+employees are "peers" when they are connected by climbing up the
+management chain, moving across a committee, and descending the same
+number of levels -- the paper's nonlinear same-generation program
+(Example 1).
+
+The script compares all four rewriting strategies plus the top-down
+baseline on fact counts and rule firings, illustrating the Section 11
+discussion (GSMS trades memory for fewer duplicate joins; counting adds
+indices that pay off with the semijoin optimization).
+
+Run::
+
+    python examples/same_generation_org_chart.py
+"""
+
+from repro import answer_query, bottom_up_answer, parse_program, parse_query
+from repro.workloads import samegen_database
+
+
+def main() -> None:
+    program, _, _ = parse_program(
+        """
+        peer(X, Y) :- flat(X, Y).
+        peer(X, Y) :- up(X, Z1), peer(Z1, Z2), flat(Z2, Z3),
+                      peer(Z3, Z4), down(Z4, Y).
+        """
+    )
+    # a 4-level org with 6 employees per level
+    database = samegen_database(layers=4, width=6, flat_edges=10, seed=11)
+    # node names start with an uppercase L, so quote them: unquoted they
+    # would parse as variables
+    query = parse_query('peer("L0_0", Y)?')
+
+    print("query:", query)
+    baseline = bottom_up_answer(program, database, query)
+    print(
+        f"semi-naive baseline: {len(baseline.answers)} answers, "
+        f"{baseline.stats.facts_derived} facts derived"
+    )
+    print()
+
+    header = f"{'strategy':<26}{'answers':>8}{'facts':>8}{'firings':>9}{'probes':>9}"
+    print(header)
+    print("-" * len(header))
+    for method in (
+        "magic",
+        "supplementary_magic",
+        "counting",
+        "supplementary_counting",
+    ):
+        answer = answer_query(
+            program, database, query, method=method, max_iterations=1000
+        )
+        assert answer.answers == baseline.answers
+        stats = answer.stats
+        print(
+            f"{method:<26}{len(answer.answers):>8}"
+            f"{stats.facts_derived:>8}{stats.rule_firings:>9}"
+            f"{stats.join_probes:>9}"
+        )
+    qsq = answer_query(program, database, query, method="qsq")
+    assert qsq.answers == baseline.answers
+    print(f"{'qsq (top-down)':<26}{len(qsq.answers):>8}{'-':>8}{'-':>9}{'-':>9}")
+
+    print()
+    print(
+        "All strategies agree with the baseline.  Note the Section 11 "
+        "trade-offs: supplementary magic stores extra (supplementary) "
+        "facts to avoid re-joining prefixes (fewer firings than magic); "
+        "the counting methods store even more facts -- one per "
+        "derivation path -- which only pays off where the semijoin "
+        "optimization applies and derivations are unique."
+    )
+
+
+if __name__ == "__main__":
+    main()

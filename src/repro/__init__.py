@@ -1,0 +1,130 @@
+"""repro -- a reproduction of Beeri & Ramakrishnan, "On the Power of Magic".
+
+The package has three layers:
+
+* :mod:`repro.datalog` -- a from-scratch deductive-database substrate:
+  terms (with function symbols), Horn-clause AST, parser, unification,
+  indexed fact storage, naive/semi-naive bottom-up evaluation, and a
+  QSQ-style top-down evaluator;
+* :mod:`repro.core` -- the paper's contribution: sideways information
+  passing strategies (Section 2), the adorned program (Section 3), the
+  generalized magic-sets / supplementary-magic / counting /
+  supplementary-counting rewrites (Sections 4-7), the semijoin
+  optimization (Section 8), sip-optimality checks (Section 9), and the
+  safety analyses (Section 10);
+* :mod:`repro.workloads` -- synthetic data generators used by the
+  benchmark harness.
+
+Quickstart::
+
+    import repro
+
+    source = '''
+        anc(X, Y) :- par(X, Y).
+        anc(X, Y) :- par(X, Z), anc(Z, Y).
+    '''
+    program, _, _ = repro.parse_program(source)
+    db = repro.Database()
+    db.add_values("par", [("john", "mary"), ("mary", "sue")])
+    answer = repro.answer_query(
+        program, db, repro.parse_query("anc(john, Y)?")
+    )
+    assert ("mary",) in answer.values()
+"""
+
+from .datalog import (
+    AdornmentError,
+    ConnectivityError,
+    Constant,
+    Database,
+    DerivationNode,
+    EvaluationError,
+    EvaluationResult,
+    EvaluationStats,
+    LinExpr,
+    Literal,
+    NonTerminationError,
+    ParseError,
+    Program,
+    QSQResult,
+    Query,
+    Relation,
+    ReproError,
+    RewriteError,
+    Rule,
+    SafetyError,
+    SipValidationError,
+    Struct,
+    Term,
+    Variable,
+    WellFormednessError,
+    answer_tuples,
+    evaluate,
+    evaluate_naive,
+    evaluate_seminaive,
+    explain,
+    fact_stages,
+    list_elements,
+    make_list,
+    parse_literal,
+    parse_program,
+    parse_query,
+    parse_rule,
+    parse_term,
+    qsq_evaluate,
+)
+from .core import (
+    AdornedProgram,
+    QueryAnswer,
+    REWRITE_METHODS,
+    RewrittenProgram,
+    adorn_program,
+    answer_query,
+    bottom_up_answer,
+    build_chain_sip,
+    build_empty_sip,
+    build_full_sip,
+    check_optimality,
+    compare_sips,
+    counting_rewrite,
+    counting_safety,
+    lemma_8_1_prune,
+    lemma_8_2_anonymize,
+    magic_rewrite,
+    magic_safety,
+    rewrite,
+    semijoin_optimize,
+    supplementary_counting_rewrite,
+    supplementary_magic_rewrite,
+    unwrap_values,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # substrate
+    "Constant", "Variable", "Struct", "LinExpr", "Term",
+    "Literal", "Rule", "Program", "Query",
+    "Database", "Relation",
+    "parse_program", "parse_rule", "parse_literal", "parse_term",
+    "parse_query", "make_list", "list_elements",
+    "evaluate", "evaluate_naive", "evaluate_seminaive", "answer_tuples",
+    "qsq_evaluate", "QSQResult",
+    "explain", "fact_stages", "DerivationNode",
+    "EvaluationResult", "EvaluationStats",
+    # errors
+    "ReproError", "ParseError", "WellFormednessError", "ConnectivityError",
+    "SipValidationError", "AdornmentError", "EvaluationError",
+    "NonTerminationError", "SafetyError", "RewriteError",
+    # core
+    "AdornedProgram", "adorn_program",
+    "build_full_sip", "build_chain_sip", "build_empty_sip",
+    "magic_rewrite", "supplementary_magic_rewrite",
+    "counting_rewrite", "supplementary_counting_rewrite",
+    "semijoin_optimize", "lemma_8_1_prune", "lemma_8_2_anonymize",
+    "magic_safety", "counting_safety",
+    "check_optimality", "compare_sips",
+    "rewrite", "answer_query", "bottom_up_answer", "unwrap_values",
+    "RewrittenProgram", "QueryAnswer", "REWRITE_METHODS",
+]

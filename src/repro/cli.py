@@ -1,0 +1,291 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``rewrite``   print the rewritten program for a query
+    python -m repro rewrite program.dl --query "anc(john, Y)?" \
+        --method supplementary_magic [--sip chain] [--semijoin]
+
+``query``     answer a query (facts may live in the .dl file or a CSV-ish
+              facts file given with --facts)
+    python -m repro query program.dl --query "anc(john, Y)?" --method magic
+
+``adorn``     print the adorned program P^ad
+``safety``    print the Section 10 safety verdicts
+``explain``   answer a query and print one derivation tree per answer
+
+The program file uses the surface syntax of ``repro.datalog.parser``:
+rules, ground facts, ``%`` comments, and optionally queries (a query
+given with --query overrides queries in the file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.adornment import adorn_program
+from .core.pipeline import REWRITE_METHODS, answer_query, rewrite
+from .core.safety import counting_safety, magic_safety
+from .core.sips import build_chain_sip, build_empty_sip, build_full_sip
+from .datalog.ast import Program, Query
+from .datalog.database import Database
+from .datalog.errors import ReproError
+from .datalog.parser import parse_program, parse_query
+
+__all__ = ["main", "build_parser"]
+
+_SIP_BUILDERS = {
+    "full": build_full_sip,
+    "chain": build_chain_sip,
+    "empty": build_empty_sip,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Magic-sets rewriting for recursive queries "
+        "(Beeri & Ramakrishnan, 'On the Power of Magic').",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, with_method=True):
+        p.add_argument("program", help="path to a .dl program file")
+        p.add_argument(
+            "--query",
+            help='query text, e.g. "anc(john, Y)?" (defaults to the '
+            "first query in the file)",
+        )
+        p.add_argument(
+            "--sip",
+            choices=sorted(_SIP_BUILDERS),
+            default="full",
+            help="sip family: full left-to-right (default), chain "
+            "(no-memory partial), or empty (no information passing)",
+        )
+        if with_method:
+            p.add_argument(
+                "--method",
+                choices=REWRITE_METHODS,
+                default="supplementary_magic",
+            )
+            p.add_argument(
+                "--mode",
+                choices=("numeric", "structural"),
+                default="numeric",
+                help="counting index encoding",
+            )
+            p.add_argument(
+                "--semijoin",
+                action="store_true",
+                help="apply the Section 8 semijoin optimization "
+                "(counting methods only)",
+            )
+            p.add_argument(
+                "--no-optimize",
+                action="store_true",
+                help="keep the redundant magic/counting literals "
+                "(disable Prop. 4.2 / Lemma 6.2 pruning)",
+            )
+
+    p_rewrite = sub.add_parser("rewrite", help="print the rewritten program")
+    add_common(p_rewrite)
+
+    p_query = sub.add_parser("query", help="answer a query")
+    add_common(p_query)
+    p_query.add_argument(
+        "--facts", help="extra facts file (same .dl syntax)", default=None
+    )
+    p_query.add_argument(
+        "--engine", choices=("naive", "seminaive"), default="seminaive"
+    )
+    p_query.add_argument(
+        "--max-iterations", type=int, default=None,
+        help="abort after this many fixpoint rounds",
+    )
+    p_query.add_argument(
+        "--stats", action="store_true", help="print work counters"
+    )
+
+    p_adorn = sub.add_parser("adorn", help="print the adorned program")
+    add_common(p_adorn, with_method=False)
+
+    p_safety = sub.add_parser(
+        "safety", help="print the Section 10 safety verdicts"
+    )
+    add_common(p_safety, with_method=False)
+
+    p_explain = sub.add_parser(
+        "explain", help="answer a query and print derivation trees"
+    )
+    add_common(p_explain, with_method=False)
+    p_explain.add_argument("--facts", default=None)
+    p_explain.add_argument(
+        "--limit", type=int, default=3,
+        help="maximum number of answers to explain",
+    )
+    return parser
+
+
+def _load(args) -> tuple:
+    with open(args.program) as handle:
+        parsed = parse_program(handle.read())
+    program = parsed.program
+    database = Database()
+    database.add_facts(parsed.facts)
+    if getattr(args, "facts", None):
+        with open(args.facts) as handle:
+            extra = parse_program(handle.read())
+        if extra.program.rules:
+            raise ReproError(
+                f"facts file {args.facts} contains rules; put rules in "
+                "the program file"
+            )
+        database.add_facts(extra.facts)
+    if args.query:
+        query = parse_query(args.query)
+    elif parsed.queries:
+        query = parsed.queries[0]
+    else:
+        raise ReproError(
+            "no query: pass --query or put one in the program file"
+        )
+    return program, database, query
+
+
+def _cmd_rewrite(args) -> int:
+    program, _, query = _load(args)
+    rewritten = rewrite(
+        program,
+        query,
+        method=args.method,
+        sip_builder=_SIP_BUILDERS[args.sip],
+        mode=args.mode,
+        optimize=not args.no_optimize,
+        semijoin=args.semijoin,
+    )
+    print(rewritten)
+    return 0
+
+
+def _cmd_query(args) -> int:
+    program, database, query = _load(args)
+    answer = answer_query(
+        program,
+        database,
+        query,
+        method=args.method,
+        engine=args.engine,
+        sip_builder=_SIP_BUILDERS[args.sip],
+        mode=args.mode,
+        semijoin=args.semijoin,
+        optimize=not args.no_optimize,
+        max_iterations=args.max_iterations,
+    )
+    free_vars = [v.name for v in query.free_variables()]
+    if not free_vars:
+        print("yes" if answer.answers else "no")
+    else:
+        header = ", ".join(free_vars)
+        print(f"% bindings for ({header})")
+        for row in sorted(answer.answers, key=str):
+            print(", ".join(str(term) for term in row))
+    if args.stats and answer.stats is not None:
+        stats = answer.stats
+        print(
+            f"% facts={stats.facts_derived} firings={stats.rule_firings} "
+            f"iterations={stats.iterations} probes={stats.join_probes}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_adorn(args) -> int:
+    program, _, query = _load(args)
+    adorned = adorn_program(
+        program, query, sip_builder=_SIP_BUILDERS[args.sip]
+    )
+    print(adorned)
+    return 0
+
+
+def _cmd_safety(args) -> int:
+    program, _, query = _load(args)
+    adorned = adorn_program(
+        program, query, sip_builder=_SIP_BUILDERS[args.sip]
+    )
+    for family, report in (
+        ("magic methods", magic_safety(adorned)),
+        ("counting methods", counting_safety(adorned)),
+    ):
+        verdict = {True: "SAFE", False: "DIVERGES", None: "UNKNOWN"}[
+            report.safe
+        ]
+        print(f"{family:<18} {verdict:<9} (Theorem {report.theorem})")
+        print(f"                   {report.reason}")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from .datalog.derivation import explain, fact_stages
+    from .datalog.engine import evaluate
+
+    program, database, query = _load(args)
+    result = evaluate(program, database)
+    from .datalog.engine import answer_tuples
+
+    answers = answer_tuples(result, query.literal)
+    if not answers:
+        print("no answers")
+        return 0
+    stages = fact_stages(program, database, result)
+    free_positions = [
+        i for i, arg in enumerate(query.literal.args) if not arg.is_ground()
+    ]
+    shown = 0
+    for row in sorted(answers, key=str):
+        if shown >= args.limit:
+            print(f"... ({len(answers) - shown} more answers)")
+            break
+        binding = dict(zip(free_positions, row))
+        fact_args = [
+            binding.get(i, arg)
+            for i, arg in enumerate(query.literal.args)
+        ]
+        from .datalog.ast import Literal
+
+        fact = Literal(query.pred, tuple(fact_args))
+        tree = explain(program, database, result, fact, _stages=stages)
+        print(tree.render())
+        print()
+        shown += 1
+    return 0
+
+
+_COMMANDS = {
+    "rewrite": _cmd_rewrite,
+    "query": _cmd_query,
+    "adorn": _cmd_adorn,
+    "safety": _cmd_safety,
+    "explain": _cmd_explain,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,367 @@
+"""Generalized counting (GC) -- Section 6.
+
+Counting refines magic sets by recording *how* a binding was reached:
+each counting fact carries indices encoding the derivation path (which
+rules and which body occurrences were expanded).  The indices buy no
+extra selectivity by themselves (projecting them out recovers exactly
+the magic-sets facts) but enable the powerful semijoin optimization of
+Section 8 (``repro.core.semijoin``).
+
+Two index encodings are provided:
+
+* ``mode="numeric"`` -- the paper's encoding: three fields ``(I, K, H)``;
+  a child of ``(I, K, H)`` through rule ``i``, occurrence ``j`` is
+  ``(I+1, K*m+i, H*t+j)`` where ``m`` is the number of adorned rules and
+  ``t`` the maximal body length.  The arithmetic lives in
+  :class:`~repro.datalog.terms.LinExpr` terms, which the engine evaluates
+  when ground and inverts when matching -- so plain bottom-up evaluation
+  runs these rules unchanged.
+* ``mode="structural"`` -- one field holding the ground term
+  ``ix(parent, i, j)``.  Both encodings are injective on derivation
+  paths, so selectivity and the (non-)termination behaviour of
+  Section 10 are identical; the structural mode exists because it
+  stays within the pure term language.
+
+Safety warning (Theorems 10.2/10.3): unlike magic sets, counting may
+diverge -- on cyclic data, and statically whenever the query's reachable
+argument graph is cyclic (e.g. the nonlinear ancestor program,
+Appendix A.5.2).  Use ``repro.core.safety.counting_terminates`` before
+running, or evaluation budgets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.ast import Literal, Program, Rule
+from ..datalog.errors import RewriteError
+from ..datalog.terms import Constant, LinExpr, Struct, Term, Variable
+from .adornment import AdornedProgram, AdornedRule
+from .magic import prune_dominated_magic
+from .naming import counting_name, indexed_name
+from .provenance import (
+    BodyOrigin,
+    RewrittenProgram,
+    RewrittenRule,
+    RuleProvenance,
+)
+from .sips import HEAD, SipArc
+
+__all__ = ["counting_rewrite", "IndexScheme", "NumericIndexScheme", "StructuralIndexScheme"]
+
+#: Functor of structural index terms.
+STRUCT_INDEX_FUNCTOR = "ix"
+
+
+class IndexScheme:
+    """Strategy object producing the index argument vectors of Section 6."""
+
+    arity: int
+
+    def __init__(self, rule_count: int, max_body: int, rule_vars) -> None:
+        raise NotImplementedError
+
+    def head_args(self) -> Tuple[Term, ...]:
+        """Index arguments of the rule head's own invocation."""
+        raise NotImplementedError
+
+    def child_args(self, rule_number: int, occurrence: int) -> Tuple[Term, ...]:
+        """Index arguments for body occurrence ``occurrence`` (1-based)
+        expanded through rule ``rule_number`` (1-based)."""
+        raise NotImplementedError
+
+    @staticmethod
+    def seed_args() -> Tuple[Term, ...]:
+        raise NotImplementedError
+
+
+class NumericIndexScheme(IndexScheme):
+    """The paper's ``(I, K, H)`` encoding with linear index expressions."""
+
+    arity = 3
+
+    def __init__(self, rule_count: int, max_body: int, rule_vars):
+        self.rule_count = max(rule_count, 1)
+        self.max_body = max(max_body, 1)
+        taken = {v.name for v in rule_vars}
+        self.level = _fresh_var("I", taken)
+        self.rule_code = _fresh_var("K", taken)
+        self.occurrence_code = _fresh_var("H", taken)
+
+    def head_args(self) -> Tuple[Term, ...]:
+        return (self.level, self.rule_code, self.occurrence_code)
+
+    def child_args(self, rule_number: int, occurrence: int) -> Tuple[Term, ...]:
+        return (
+            LinExpr(self.level, 1, 1),
+            LinExpr(self.rule_code, self.rule_count, rule_number),
+            LinExpr(self.occurrence_code, self.max_body, occurrence),
+        )
+
+    @staticmethod
+    def seed_args() -> Tuple[Term, ...]:
+        return (Constant(0), Constant(0), Constant(0))
+
+
+class StructuralIndexScheme(IndexScheme):
+    """One ground-term index ``ix(parent, rule, occurrence)``."""
+
+    arity = 1
+
+    def __init__(self, rule_count: int, max_body: int, rule_vars):
+        taken = {v.name for v in rule_vars}
+        self.index = _fresh_var("IX", taken)
+
+    def head_args(self) -> Tuple[Term, ...]:
+        return (self.index,)
+
+    def child_args(self, rule_number: int, occurrence: int) -> Tuple[Term, ...]:
+        return (
+            Struct(
+                STRUCT_INDEX_FUNCTOR,
+                (self.index, Constant(rule_number), Constant(occurrence)),
+            ),
+        )
+
+    @staticmethod
+    def seed_args() -> Tuple[Term, ...]:
+        return (Constant(0),)
+
+
+def _fresh_var(base: str, taken: Set[str]) -> Variable:
+    name = base
+    while name in taken:
+        name += "_"
+    return Variable(name)
+
+
+_SCHEMES = {
+    "numeric": NumericIndexScheme,
+    "structural": StructuralIndexScheme,
+}
+
+
+def counting_rewrite(
+    adorned: AdornedProgram,
+    mode: str = "numeric",
+    optimize: bool = True,
+) -> RewrittenProgram:
+    """Rewrite an adorned program by the generalized counting method."""
+    if mode not in _SCHEMES:
+        raise ValueError(
+            f"unknown index mode {mode!r}; expected one of {sorted(_SCHEMES)}"
+        )
+    scheme_cls = _SCHEMES[mode]
+    rule_count = len(adorned.rules)
+    max_body = adorned.max_body_length()
+
+    registry: Dict[str, Tuple[str, str, str]] = {}
+    rewritten: List[RewrittenRule] = []
+    for rule_index, adorned_rule in enumerate(adorned.rules):
+        scheme = scheme_cls(
+            rule_count, max_body, adorned_rule.rule.variables()
+        )
+        rewritten.extend(
+            _counting_rules_for(
+                adorned_rule, rule_index, scheme, registry, optimize
+            )
+        )
+        rewritten.append(
+            _modified_rule_for(
+                adorned_rule, rule_index, scheme, registry, optimize
+            )
+        )
+    if optimize:
+        rewritten = [prune_dominated_magic(rr, adorned) for rr in rewritten]
+    for rewritten_rule in rewritten:
+        _check_range_restricted(rewritten_rule.rule)
+
+    query_literal = adorned.query_literal
+    index_arity = scheme_cls.arity
+    if "b" in query_literal.adornment:
+        seed = Literal(
+            counting_name(query_literal.pred, query_literal.adornment),
+            scheme_cls.seed_args() + query_literal.bound_args(),
+        )
+        seeds: Tuple[Literal, ...] = (seed,)
+        answer_key = indexed_name(query_literal.pred, query_literal.adornment)
+        offset = index_arity
+    else:
+        seeds = ()
+        answer_key = query_literal.pred_key
+        offset = 0
+
+    selection = tuple(
+        (offset + i, arg)
+        for i, arg in enumerate(query_literal.args)
+        if arg.is_ground()
+    )
+    projection = tuple(
+        offset + i
+        for i, arg in enumerate(query_literal.args)
+        if not arg.is_ground()
+    )
+    return RewrittenProgram(
+        method="counting",
+        rules=rewritten,
+        seed_facts=seeds,
+        query=adorned.query,
+        answer_pred_key=answer_key,
+        answer_selection=selection,
+        answer_projection=projection,
+        adorned=adorned,
+        index_arity=index_arity,
+        registry=registry,
+    )
+
+
+def _counting_literal(
+    literal: Literal, index_args: Tuple[Term, ...], registry: Dict
+) -> Literal:
+    name = counting_name(literal.pred, literal.adornment)
+    registry[name] = ("counting", literal.pred, literal.adornment)
+    return Literal(name, index_args + literal.bound_args())
+
+
+def _indexed_literal(
+    literal: Literal, index_args: Tuple[Term, ...], registry: Dict
+) -> Literal:
+    name = indexed_name(literal.pred, literal.adornment)
+    registry[name] = ("indexed", literal.pred, literal.adornment)
+    return Literal(name, index_args + literal.args)
+
+
+def _is_bound_adorned(literal: Literal) -> bool:
+    return literal.adornment is not None and "b" in literal.adornment
+
+
+def _counting_rules_for(
+    adorned_rule: AdornedRule,
+    rule_index: int,
+    scheme: IndexScheme,
+    registry: Dict,
+    optimize: bool,
+) -> List[RewrittenRule]:
+    """Counting rules for every arc-fed derived body occurrence."""
+    out: List[RewrittenRule] = []
+    sip = adorned_rule.sip
+    rule_number = rule_index + 1
+    for position, literal in enumerate(adorned_rule.body):
+        if not _is_bound_adorned(literal):
+            continue
+        arcs = sip.arcs_into(position)
+        if not arcs:
+            continue
+        if len(arcs) > 1:
+            raise RewriteError(
+                "the counting transformation supports a single arc per "
+                f"body occurrence; position {position} of rule "
+                f"{adorned_rule.rule} has {len(arcs)} (use magic sets, or "
+                "merge the arcs)"
+            )
+        arc = arcs[0]
+        head = _counting_literal(
+            literal, scheme.child_args(rule_number, position + 1), registry
+        )
+        body: List[Literal] = []
+        origins: List[BodyOrigin] = []
+        if arc.has_head():
+            body.append(
+                _counting_literal(
+                    adorned_rule.head, scheme.head_args(), registry
+                )
+            )
+            origins.append(BodyOrigin("guard"))
+        for tail_position in arc.tail_positions():
+            tail_literal = adorned_rule.body[tail_position]
+            if _is_bound_adorned(tail_literal):
+                child = scheme.child_args(rule_number, tail_position + 1)
+                body.append(
+                    _counting_literal(tail_literal, child, registry)
+                )
+                origins.append(BodyOrigin("magic", tail_position))
+                body.append(
+                    _indexed_literal(tail_literal, child, registry)
+                )
+                origins.append(BodyOrigin("literal", tail_position))
+            else:
+                body.append(tail_literal)
+                origins.append(BodyOrigin("literal", tail_position))
+        out.append(
+            RewrittenRule(
+                Rule(head, tuple(body)),
+                RuleProvenance(
+                    role="counting",
+                    source_rule=rule_index,
+                    target_position=position,
+                    body_origins=tuple(origins),
+                ),
+            )
+        )
+    return out
+
+
+def _modified_rule_for(
+    adorned_rule: AdornedRule,
+    rule_index: int,
+    scheme: IndexScheme,
+    registry: Dict,
+    optimize: bool,
+) -> RewrittenRule:
+    """The indexed modified rule of Section 6.
+
+    Per Lemma 6.2 the per-occurrence counting guards are unnecessary in
+    modified rules; with ``optimize=False`` we include them anyway (the
+    unoptimized form the paper describes before the lemma).
+    """
+    head_literal = adorned_rule.head
+    rule_number = rule_index + 1
+    body: List[Literal] = []
+    origins: List[BodyOrigin] = []
+    if _is_bound_adorned(head_literal):
+        head = _indexed_literal(head_literal, scheme.head_args(), registry)
+        body.append(
+            _counting_literal(head_literal, scheme.head_args(), registry)
+        )
+        origins.append(BodyOrigin("guard"))
+    else:
+        head = head_literal
+    for position, literal in enumerate(adorned_rule.body):
+        if _is_bound_adorned(literal):
+            child = scheme.child_args(rule_number, position + 1)
+            if not optimize:
+                body.append(_counting_literal(literal, child, registry))
+                origins.append(BodyOrigin("magic", position))
+            body.append(_indexed_literal(literal, child, registry))
+            origins.append(BodyOrigin("literal", position))
+        else:
+            body.append(literal)
+            origins.append(BodyOrigin("literal", position))
+    return RewrittenRule(
+        Rule(head, tuple(body)),
+        RuleProvenance(
+            role="modified",
+            source_rule=rule_index,
+            body_origins=tuple(origins),
+        ),
+    )
+
+
+def _check_range_restricted(rule: Rule) -> None:
+    """Reject rules whose head index variables cannot be bound.
+
+    Happens for partial sips whose arcs carry no index-bearing literal
+    (all-base tails feeding an indexed target).
+    """
+    body_vars: Set[Variable] = set()
+    for literal in rule.body:
+        body_vars.update(literal.variables())
+    missing = [v for v in rule.head.variables() if v not in body_vars]
+    if missing:
+        names = ", ".join(v.name for v in missing)
+        raise RewriteError(
+            f"counting rule {rule} cannot bind index variables {{{names}}}; "
+            "the chosen sip passes bindings through a tail with no indexed "
+            "or counting literal (see Section 6: such sips cannot be "
+            "indexed -- use the magic-sets methods instead)"
+        )

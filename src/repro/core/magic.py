@@ -1,0 +1,299 @@
+"""Generalized magic sets (GMS) -- Section 4.
+
+Given the adorned program, define for each adorned derived predicate
+``p^a`` (with at least one bound argument) a *magic predicate* holding
+the bindings for which ``p^a`` must be computed, and modify the original
+rules to fire only for those bindings.  Bottom-up evaluation of the
+result simulates the sips (Theorem 4.1) and is *sip-optimal*
+(Theorem 9.1): it computes exactly the subqueries and answers any
+strategy following the sips must produce.
+
+The transformation (Section 4):
+
+1. a magic predicate ``magic_p^a`` per adorned predicate, of arity =
+   number of ``b`` positions;
+2. for each rule and each body occurrence of an adorned predicate with
+   incoming sip arcs, a *magic rule*: its head collects the occurrence's
+   bound arguments; its body joins the arc's tail (predicates of ``N``,
+   plus their magic predicates, plus ``magic_p^a`` when ``p_h`` is in the
+   tail).  Targets with several incoming arcs go through *label rules*;
+3. every original rule gains magic guards;
+4. the query contributes a *seed* fact ``magic_q^a(c)``.
+
+With ``optimize=True`` the redundant-magic-literal deletions of
+Propositions 4.2/4.3 are applied: a magic literal is dropped whenever the
+rule also contains a magic literal of a sip-predecessor (the ``=>``
+relation), which reproduces the simplified rule sets of Example 4 and
+Appendix A.3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.ast import Literal, Program, Rule
+from ..datalog.errors import RewriteError
+from ..datalog.terms import Variable
+from .adornment import AdornedProgram, AdornedRule
+from .naming import label_name, magic_name
+from .provenance import (
+    BodyOrigin,
+    RewrittenProgram,
+    RewrittenRule,
+    RuleProvenance,
+)
+from .sips import HEAD, SipArc
+
+__all__ = ["magic_rewrite", "magic_literal_for", "prune_dominated_magic"]
+
+
+def magic_literal_for(literal: Literal) -> Literal:
+    """The magic literal of an adorned literal: ``magic_p^a(theta^b)``."""
+    if literal.adornment is None:
+        raise RewriteError(
+            f"literal {literal} has no adornment; only adorned predicates "
+            "have magic versions"
+        )
+    if "b" not in literal.adornment:
+        raise RewriteError(
+            f"literal {literal} has no bound arguments; all-free predicates "
+            "have no magic version (their magic predicate would be the "
+            "0-ary FALSE)"
+        )
+    return Literal(
+        magic_name(literal.pred, literal.adornment), literal.bound_args()
+    )
+
+
+def _ordered_tail(arc: SipArc) -> List:
+    """Tail nodes in canonical order: head first, then positions ascending."""
+    nodes: List = []
+    if arc.has_head():
+        nodes.append(HEAD)
+    nodes.extend(arc.tail_positions())
+    return nodes
+
+
+def _arc_body(
+    adorned_rule: AdornedRule,
+    arc: SipArc,
+    include_magic: bool,
+) -> Tuple[List[Literal], List[BodyOrigin]]:
+    """The body literals encoding one sip arc's tail (Section 4, step 2)."""
+    body: List[Literal] = []
+    origins: List[BodyOrigin] = []
+    for node in _ordered_tail(arc):
+        if node == HEAD:
+            body.append(magic_literal_for(adorned_rule.head))
+            origins.append(BodyOrigin("guard"))
+            continue
+        literal = adorned_rule.body[node]
+        if (
+            include_magic
+            and literal.adornment is not None
+            and "b" in literal.adornment
+        ):
+            body.append(magic_literal_for(literal))
+            origins.append(BodyOrigin("magic", node))
+        body.append(literal)
+        origins.append(BodyOrigin("literal", node))
+    return body, origins
+
+
+def _label_arguments(
+    adorned_rule: AdornedRule, label_vars
+) -> Tuple[Variable, ...]:
+    """Label-rule arguments: label variables in rule-occurrence order."""
+    ordered = []
+    for var in adorned_rule.rule.variables():
+        if var in label_vars:
+            ordered.append(var)
+    return tuple(ordered)
+
+
+def magic_rewrite(
+    adorned: AdornedProgram,
+    optimize: bool = True,
+) -> RewrittenProgram:
+    """Rewrite an adorned program by the generalized magic-sets method."""
+    rewritten: List[RewrittenRule] = []
+    for rule_index, adorned_rule in enumerate(adorned.rules):
+        rewritten.extend(_magic_rules_for(adorned_rule, rule_index))
+        rewritten.append(_modified_rule_for(adorned_rule, rule_index))
+
+    if optimize:
+        rewritten = [
+            prune_dominated_magic(rr, adorned) for rr in rewritten
+        ]
+        rewritten = [rr for rr in rewritten if not _is_tautology(rr.rule)]
+
+    query_literal = adorned.query_literal
+    seeds: Tuple[Literal, ...]
+    if "b" in query_literal.adornment:
+        seeds = (magic_literal_for(query_literal),)
+    else:
+        seeds = ()
+
+    free_positions = tuple(
+        i for i, arg in enumerate(query_literal.args) if not arg.is_ground()
+    )
+    selection = tuple(
+        (i, arg)
+        for i, arg in enumerate(query_literal.args)
+        if arg.is_ground()
+    )
+    return RewrittenProgram(
+        method="magic",
+        rules=rewritten,
+        seed_facts=seeds,
+        query=adorned.query,
+        answer_pred_key=query_literal.pred_key,
+        answer_selection=selection,
+        answer_projection=free_positions,
+        adorned=adorned,
+        index_arity=0,
+    )
+
+
+def _magic_rules_for(
+    adorned_rule: AdornedRule, rule_index: int
+) -> List[RewrittenRule]:
+    """Magic (and label) rules for every arc-fed body occurrence."""
+    out: List[RewrittenRule] = []
+    sip = adorned_rule.sip
+    for position, literal in enumerate(adorned_rule.body):
+        if literal.adornment is None or "b" not in literal.adornment:
+            continue
+        arcs = sip.arcs_into(position)
+        if not arcs:
+            continue
+        magic_head = magic_literal_for(literal)
+        if len(arcs) == 1:
+            body, origins = _arc_body(adorned_rule, arcs[0], True)
+            out.append(
+                RewrittenRule(
+                    Rule(magic_head, tuple(body)),
+                    RuleProvenance(
+                        role="magic",
+                        source_rule=rule_index,
+                        target_position=position,
+                        body_origins=tuple(origins),
+                    ),
+                )
+            )
+            continue
+        # several arcs: one label rule per arc, magic rule joins the labels
+        label_literals: List[Literal] = []
+        for arc_index, arc in enumerate(arcs):
+            args = _label_arguments(adorned_rule, arc.label)
+            label_head = Literal(
+                label_name(literal.pred, rule_index + 1, position + 1, arc_index),
+                args,
+            )
+            body, origins = _arc_body(adorned_rule, arc, True)
+            out.append(
+                RewrittenRule(
+                    Rule(label_head, tuple(body)),
+                    RuleProvenance(
+                        role="label",
+                        source_rule=rule_index,
+                        target_position=position,
+                        body_origins=tuple(origins),
+                    ),
+                )
+            )
+            label_literals.append(label_head)
+        out.append(
+            RewrittenRule(
+                Rule(magic_head, tuple(label_literals)),
+                RuleProvenance(
+                    role="magic",
+                    source_rule=rule_index,
+                    target_position=position,
+                    body_origins=tuple(
+                        BodyOrigin("label", position)
+                        for _ in label_literals
+                    ),
+                ),
+            )
+        )
+    return out
+
+
+def _modified_rule_for(
+    adorned_rule: AdornedRule, rule_index: int
+) -> RewrittenRule:
+    """The modified rule: magic guards inserted before each occurrence."""
+    body: List[Literal] = []
+    origins: List[BodyOrigin] = []
+    head = adorned_rule.head
+    if head.adornment is not None and "b" in head.adornment:
+        body.append(magic_literal_for(head))
+        origins.append(BodyOrigin("guard"))
+    for position, literal in enumerate(adorned_rule.body):
+        if literal.adornment is not None and "b" in literal.adornment:
+            body.append(magic_literal_for(literal))
+            origins.append(BodyOrigin("magic", position))
+        body.append(literal)
+        origins.append(BodyOrigin("literal", position))
+    return RewrittenRule(
+        Rule(head, tuple(body)),
+        RuleProvenance(
+            role="modified",
+            source_rule=rule_index,
+            body_origins=tuple(origins),
+        ),
+    )
+
+
+def prune_dominated_magic(
+    rewritten_rule: RewrittenRule, adorned: AdornedProgram
+) -> RewrittenRule:
+    """Apply the deletions of Proposition 4.2 to one rewritten rule.
+
+    A magic (or guard) literal corresponding to sip node ``p_j`` is
+    deleted when the rule also contains a magic literal for ``p_i`` with
+    ``p_i => p_j`` in the sip's precedence relation: the earlier magic
+    literal (together with the tail literals) already enforces the
+    restriction.
+    """
+    provenance = rewritten_rule.provenance
+    if provenance.source_rule is None:
+        return rewritten_rule
+    adorned_rule = adorned.rules[provenance.source_rule]
+    precedes = adorned_rule.sip.precedes()
+
+    nodes: List[Optional[object]] = []
+    for origin in provenance.body_origins:
+        if origin.kind == "guard":
+            nodes.append(HEAD)
+        elif origin.kind == "magic":
+            nodes.append(origin.position)
+        else:
+            nodes.append(None)
+    magic_nodes = {n for n in nodes if n is not None}
+
+    keep: List[int] = []
+    for index, node in enumerate(nodes):
+        if node is None:
+            keep.append(index)
+            continue
+        dominated = any(
+            other != node and node in precedes.get(other, ())
+            for other in magic_nodes
+        )
+        if not dominated:
+            keep.append(index)
+    if len(keep) == len(nodes):
+        return rewritten_rule
+    new_body = tuple(rewritten_rule.rule.body[i] for i in keep)
+    new_origins = tuple(provenance.body_origins[i] for i in keep)
+    return rewritten_rule.with_rule(
+        Rule(rewritten_rule.rule.head, new_body), new_origins
+    )
+
+
+def _is_tautology(rule: Rule) -> bool:
+    """True for rules of the form ``p(x) :- p(x)`` (noted deletable in
+    Appendix A.3.2)."""
+    return len(rule.body) == 1 and rule.body[0] == rule.head

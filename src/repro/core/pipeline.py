@@ -1,0 +1,221 @@
+"""One-call public API: rewrite a program for a query and answer it.
+
+The typical use is two lines::
+
+    from repro import parse_program, parse_query, pipeline
+
+    source = '''
+        anc(X, Y) :- par(X, Y).
+        anc(X, Y) :- par(X, Z), anc(Z, Y).
+    '''
+    program, facts, _ = parse_program(source)
+    ...
+    answer = pipeline.answer_query(program, db, parse_query("anc(john, Y)?"))
+
+``rewrite`` builds the adorned program (Section 3) and dispatches to one
+of the four rewriting algorithms (Sections 4-7), optionally followed by
+the semijoin optimization (Section 8).  ``answer_query`` additionally
+evaluates the result bottom-up and extracts the answer; it also accepts
+the baseline strategies (plain naive/semi-naive bottom-up of the original
+program and top-down QSQ), so the benchmarks compare everything through
+one interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from ..datalog.ast import Literal, Program, Query
+from ..datalog.database import Database
+from ..datalog.engine import (
+    EvaluationResult,
+    EvaluationStats,
+    answer_tuples,
+    evaluate,
+)
+from ..datalog.errors import RewriteError
+from ..datalog.terms import Constant, Term
+from ..datalog.topdown import qsq_evaluate
+from .adornment import AdornedProgram, adorn_program
+from .counting import counting_rewrite
+from .magic import magic_rewrite
+from .provenance import RewrittenProgram
+from .semijoin import semijoin_optimize
+from .sips import SipBuilder, build_full_sip
+from .supplementary import supplementary_magic_rewrite
+from .supplementary_counting import supplementary_counting_rewrite
+
+__all__ = [
+    "REWRITE_METHODS",
+    "rewrite",
+    "QueryAnswer",
+    "answer_query",
+    "bottom_up_answer",
+    "unwrap_values",
+]
+
+#: The four rewriting algorithms of Sections 4-7.
+REWRITE_METHODS = (
+    "magic",
+    "supplementary_magic",
+    "counting",
+    "supplementary_counting",
+)
+
+
+def rewrite(
+    program: Program,
+    query: Query,
+    method: str = "supplementary_magic",
+    sip_builder: SipBuilder = build_full_sip,
+    mode: str = "numeric",
+    optimize: bool = True,
+    semijoin: bool = False,
+    adorned: Optional[AdornedProgram] = None,
+) -> RewrittenProgram:
+    """Rewrite ``program`` for ``query`` with the chosen method.
+
+    ``mode`` selects the counting index encoding (``"numeric"`` or
+    ``"structural"``); it is ignored by the magic methods.  ``semijoin``
+    applies the Section 8 optimization (counting methods only).
+    """
+    if adorned is None:
+        adorned = adorn_program(program, query, sip_builder)
+    if method == "magic":
+        result = magic_rewrite(adorned, optimize=optimize)
+    elif method == "supplementary_magic":
+        result = supplementary_magic_rewrite(adorned, optimize=optimize)
+    elif method == "counting":
+        result = counting_rewrite(adorned, mode=mode, optimize=optimize)
+    elif method == "supplementary_counting":
+        result = supplementary_counting_rewrite(
+            adorned, mode=mode, optimize=optimize
+        )
+    else:
+        raise ValueError(
+            f"unknown rewrite method {method!r}; expected one of "
+            f"{REWRITE_METHODS}"
+        )
+    if semijoin:
+        if method not in ("counting", "supplementary_counting"):
+            raise RewriteError(
+                "the semijoin optimization relies on counting indices "
+                "(Section 8); it does not apply to the magic-sets methods"
+            )
+        result = semijoin_optimize(result)
+    return result
+
+
+@dataclass
+class QueryAnswer:
+    """An answered query: bindings for the query's free variables."""
+
+    answers: Set[Tuple[Term, ...]]
+    strategy: str
+    stats: Optional[EvaluationStats] = None
+    rewritten: Optional[RewrittenProgram] = None
+    evaluation: Optional[EvaluationResult] = None
+
+    def values(self) -> Set[Tuple[object, ...]]:
+        """Answers with plain Python values in place of Constants."""
+        return unwrap_values(self.answers)
+
+    def __len__(self):
+        return len(self.answers)
+
+
+def unwrap_values(rows: Set[Tuple[Term, ...]]) -> Set[Tuple[object, ...]]:
+    out = set()
+    for row in rows:
+        out.add(
+            tuple(t.value if isinstance(t, Constant) else t for t in row)
+        )
+    return out
+
+
+def answer_query(
+    program: Program,
+    database: Database,
+    query: Query,
+    method: str = "supplementary_magic",
+    engine: str = "seminaive",
+    sip_builder: SipBuilder = build_full_sip,
+    mode: str = "numeric",
+    optimize: bool = True,
+    semijoin: bool = False,
+    max_iterations: Optional[int] = None,
+    max_facts: Optional[int] = None,
+) -> QueryAnswer:
+    """Answer a query end to end.
+
+    ``method`` is a rewrite method, or one of the baselines:
+    ``"naive"`` / ``"seminaive"`` (bottom-up on the original program,
+    then select/project -- the Section 1 strawman) or ``"qsq"``
+    (top-down on the adorned program).
+    """
+    if method in ("naive", "seminaive"):
+        return bottom_up_answer(
+            program, database, query, method, max_iterations, max_facts
+        )
+    if method == "qsq":
+        adorned = adorn_program(program, query, sip_builder)
+        qsq = qsq_evaluate(
+            adorned.program,
+            database,
+            adorned.query_literal,
+            max_iterations=max_iterations,
+            max_facts=max_facts,
+        )
+        return QueryAnswer(
+            answers=qsq.query_answers(adorned.query_literal),
+            strategy="qsq",
+        )
+    rewritten = rewrite(
+        program,
+        query,
+        method=method,
+        sip_builder=sip_builder,
+        mode=mode,
+        optimize=optimize,
+        semijoin=semijoin,
+    )
+    seeded = rewritten.seeded_database(database)
+    result = evaluate(
+        rewritten.program,
+        seeded,
+        method=engine,
+        max_iterations=max_iterations,
+        max_facts=max_facts,
+    )
+    return QueryAnswer(
+        answers=rewritten.extract_answers(result),
+        strategy=method,
+        stats=result.stats,
+        rewritten=rewritten,
+        evaluation=result,
+    )
+
+
+def bottom_up_answer(
+    program: Program,
+    database: Database,
+    query: Query,
+    engine: str = "seminaive",
+    max_iterations: Optional[int] = None,
+    max_facts: Optional[int] = None,
+) -> QueryAnswer:
+    """The Section 1 strawman: evaluate everything, then select."""
+    result = evaluate(
+        program,
+        database,
+        method=engine,
+        max_iterations=max_iterations,
+        max_facts=max_facts,
+    )
+    return QueryAnswer(
+        answers=answer_tuples(result, query.literal),
+        strategy=engine,
+        stats=result.stats,
+        evaluation=result,
+    )

@@ -1,0 +1,167 @@
+"""Provenance records and the common result type of the rewriters.
+
+Every rule a rewriting algorithm emits carries a :class:`RuleProvenance`
+describing where it came from: which adorned rule, which body occurrence,
+which sip arc, and the *origin* of every body literal.  The semijoin
+optimization (Section 8) and the appendix-comparison benchmarks are
+written against this metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.ast import Literal, Program, Query, Rule
+from ..datalog.database import Database
+from ..datalog.engine import EvaluationResult
+from ..datalog.terms import Constant, Term
+
+__all__ = [
+    "BodyOrigin",
+    "RuleProvenance",
+    "RewrittenRule",
+    "RewrittenProgram",
+]
+
+
+@dataclass(frozen=True)
+class BodyOrigin:
+    """Origin of one body literal of a rewritten rule.
+
+    ``kind`` is one of:
+
+    * ``"guard"``        -- the magic/counting literal of the rule head (p_h);
+    * ``"magic"``        -- a magic/counting literal guarding body position
+                            ``position``;
+    * ``"literal"``      -- the (possibly indexed) copy of body position
+                            ``position`` of the source adorned rule;
+    * ``"supplementary"``-- a supplementary predicate covering body
+                            positions ``< position``;
+    * ``"label"``        -- a label literal (multi-arc targets).
+    """
+
+    kind: str
+    position: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class RuleProvenance:
+    """Where a rewritten rule came from.
+
+    ``role`` is one of ``"magic"``, ``"modified"``, ``"supplementary"``,
+    ``"counting"``, ``"supplementary_counting"``, ``"label"``.
+    ``source_rule`` is the index of the adorned rule (0-based) in the
+    adorned program; ``target_position`` the body occurrence the rule
+    feeds (for magic/counting/label/supplementary rules).
+    ``body_origins`` parallels the rewritten rule's body literals.
+    """
+
+    role: str
+    source_rule: Optional[int] = None
+    target_position: Optional[int] = None
+    body_origins: Tuple[BodyOrigin, ...] = ()
+
+
+@dataclass(frozen=True)
+class RewrittenRule:
+    """A rewritten rule together with its provenance."""
+
+    rule: Rule
+    provenance: RuleProvenance
+
+    def with_rule(self, rule: Rule, body_origins=None) -> "RewrittenRule":
+        prov = self.provenance
+        if body_origins is not None:
+            prov = replace(prov, body_origins=tuple(body_origins))
+        return RewrittenRule(rule, prov)
+
+
+@dataclass
+class RewrittenProgram:
+    """The output of a rewriting algorithm, ready for bottom-up evaluation.
+
+    ``seed_facts`` are the query-specific seeds (the paper keeps them out
+    of ``P^mg`` so the rewrite can be reused across queries of the same
+    form); :meth:`seeded_database` merges them into a database copy.
+
+    Answer extraction: the rewritten program computes the query's
+    predicate under ``answer_pred_key``; rows are filtered by
+    ``answer_selection`` (position -> required constant) and projected on
+    ``answer_projection`` (positions listed in the order of the query's
+    free variables).  The counting rewrites prefix index fields and the
+    semijoin optimization may drop bound argument positions; both adjust
+    this metadata rather than burden the caller.
+    """
+
+    method: str
+    rules: List[RewrittenRule]
+    seed_facts: Tuple[Literal, ...]
+    query: Query
+    answer_pred_key: str
+    answer_selection: Tuple[Tuple[int, Term], ...]
+    answer_projection: Tuple[int, ...]
+    adorned: object = None  # AdornedProgram; typed loosely to avoid cycles
+    index_arity: int = 0
+    #: generated predicate name -> ("indexed" | "counting" | "sup",
+    #: original predicate, adornment); used by the semijoin optimization
+    registry: Dict[str, Tuple[str, str, str]] = field(default_factory=dict)
+
+    @property
+    def program(self) -> Program:
+        return Program(tuple(rr.rule for rr in self.rules))
+
+    def seeded_database(self, database: Database) -> Database:
+        """A copy of ``database`` with the seed facts added."""
+        seeded = database.copy()
+        for seed in self.seed_facts:
+            seeded.add_fact(seed)
+        return seeded
+
+    def extract_answers(self, result: EvaluationResult) -> Set[Tuple[Term, ...]]:
+        """Answers for the query from an evaluation of the program."""
+        answers: Set[Tuple[Term, ...]] = set()
+        for row in result.database.tuples(self.answer_pred_key):
+            if all(row[i] == value for i, value in self.answer_selection):
+                answers.add(tuple(row[i] for i in self.answer_projection))
+        return answers
+
+    # ------------------------------------------------------------------
+    # fact accounting (Sections 9 and 11 measure facts, not time)
+    # ------------------------------------------------------------------
+    def fact_breakdown(self, result: EvaluationResult) -> Dict[str, int]:
+        """Derived-fact counts split into answer-bearing vs auxiliary.
+
+        Returns a dict with keys ``"adorned"`` (facts of the rewritten
+        derived predicates carrying real tuples), ``"magic"`` (magic /
+        counting / supplementary / label facts) and ``"total"``.
+        """
+        from .naming import is_generated_name  # local import, no cycle
+
+        adorned = 0
+        auxiliary = 0
+        derived_keys = {rr.rule.head.pred_key for rr in self.rules}
+        for key in derived_keys:
+            count = len(result.database.tuples(key))
+            pred = key.split("^")[0]
+            if is_generated_name(pred) and not pred.endswith("_ix"):
+                auxiliary += count
+            else:
+                adorned += count
+        for seed in self.seed_facts:
+            # seeds are auxiliary facts too, but they were inserted, not
+            # derived; count them for the totals the paper discusses
+            auxiliary += 1 if seed.pred_key not in derived_keys else 0
+        return {
+            "adorned": adorned,
+            "magic": auxiliary,
+            "total": adorned + auxiliary,
+        }
+
+    def __str__(self):
+        lines = [f"% method: {self.method}"]
+        for seed in self.seed_facts:
+            lines.append(f"{seed}.  % seed")
+        for rewritten in self.rules:
+            lines.append(str(rewritten.rule))
+        return "\n".join(lines)

@@ -1,0 +1,237 @@
+"""Generalized supplementary magic sets (GSMS) -- Section 5.
+
+GMS re-evaluates the same joins in every magic rule and again in the
+modified rules.  GSMS stores those intermediate joins in *supplementary
+magic predicates*: ``supmagicR_J`` holds, for rule ``R``, the join of the
+head bindings with body literals ``1 .. J-1``, projected on the variables
+still needed.  Magic rules and the modified rule then just project from
+the supplementary predicates (this is Sacca & Zaniolo's idea, and the
+Alexander method of Rohmer & Lescoeur).
+
+The two optimizations the paper applies to its examples are applied here
+too (always -- they never hurt):
+
+* ``supmagicR_1`` (the join of nothing with the head bindings) is not
+  materialized; its occurrences are replaced by ``magic_p^a(x^b)``;
+* each ``phi_j`` keeps only variables still needed by the head or by
+  body literals ``j..n`` (the "discard" optimization).
+
+Rules whose head adornment has no bound argument have no magic seed to
+anchor the supplementary chain; for those rules we fall back to plain
+GMS magic rules (their body occurrences can still receive arcs from
+body-only tails), which is a conservative, documented deviation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.ast import Literal, Program, Rule
+from ..datalog.terms import Variable
+from .adornment import AdornedProgram, AdornedRule
+from .magic import magic_literal_for, prune_dominated_magic, _magic_rules_for
+from .naming import supplementary_name
+from .provenance import (
+    BodyOrigin,
+    RewrittenProgram,
+    RewrittenRule,
+    RuleProvenance,
+)
+
+__all__ = ["supplementary_magic_rewrite", "needed_variables"]
+
+
+def needed_variables(
+    adorned_rule: AdornedRule, from_position: int
+) -> Set[Variable]:
+    """Variables needed at/after a body position: head args or later body."""
+    needed: Set[Variable] = set(adorned_rule.head.variables())
+    for literal in adorned_rule.body[from_position:]:
+        needed.update(literal.variables())
+    return needed
+
+
+def _ordered_subset(
+    rule: Rule, variables: Set[Variable]
+) -> Tuple[Variable, ...]:
+    """Variables in first-occurrence (head-then-body) order."""
+    return tuple(v for v in rule.variables() if v in variables)
+
+
+def _last_arc_position(adorned_rule: AdornedRule) -> Optional[int]:
+    """Last body position holding a derived adorned literal with arcs."""
+    last = None
+    for position, literal in enumerate(adorned_rule.body):
+        if (
+            literal.adornment is not None
+            and "b" in literal.adornment
+            and adorned_rule.sip.arcs_into(position)
+        ):
+            last = position
+    return last
+
+
+def supplementary_magic_rewrite(
+    adorned: AdornedProgram,
+    optimize: bool = True,
+) -> RewrittenProgram:
+    """Rewrite an adorned program by generalized supplementary magic sets."""
+    rewritten: List[RewrittenRule] = []
+    for rule_index, adorned_rule in enumerate(adorned.rules):
+        rewritten.extend(_rewrite_rule(adorned_rule, rule_index, adorned, optimize))
+
+    query_literal = adorned.query_literal
+    seeds: Tuple[Literal, ...]
+    if "b" in query_literal.adornment:
+        seeds = (magic_literal_for(query_literal),)
+    else:
+        seeds = ()
+    free_positions = tuple(
+        i for i, arg in enumerate(query_literal.args) if not arg.is_ground()
+    )
+    selection = tuple(
+        (i, arg)
+        for i, arg in enumerate(query_literal.args)
+        if arg.is_ground()
+    )
+    return RewrittenProgram(
+        method="supplementary_magic",
+        rules=rewritten,
+        seed_facts=seeds,
+        query=adorned.query,
+        answer_pred_key=query_literal.pred_key,
+        answer_selection=selection,
+        answer_projection=free_positions,
+        adorned=adorned,
+        index_arity=0,
+    )
+
+
+def _rewrite_rule(
+    adorned_rule: AdornedRule,
+    rule_index: int,
+    adorned: AdornedProgram,
+    optimize: bool,
+) -> List[RewrittenRule]:
+    head = adorned_rule.head
+    head_bound = head.adornment is not None and "b" in head.adornment
+    if not head_bound:
+        # no magic seed to anchor the supplementary chain: GMS fallback
+        out = _magic_rules_for(adorned_rule, rule_index)
+        if optimize:
+            out = [prune_dominated_magic(rr, adorned) for rr in out]
+        out.append(
+            RewrittenRule(
+                Rule(head, adorned_rule.body),
+                RuleProvenance(
+                    role="modified",
+                    source_rule=rule_index,
+                    body_origins=tuple(
+                        BodyOrigin("literal", i)
+                        for i in range(len(adorned_rule.body))
+                    ),
+                ),
+            )
+        )
+        return out
+
+    out: List[RewrittenRule] = []
+    last = _last_arc_position(adorned_rule)
+    guard = magic_literal_for(head)
+
+    def sup_literal(position: int) -> Literal:
+        """``sup_position``: join of head bindings and body[:position].
+
+        Position 0 is the eliminated ``sup_1`` of the paper: the head's
+        magic literal is used directly.
+        """
+        if position == 0:
+            return guard
+        available: Set[Variable] = set()
+        for argument in head.bound_args():
+            available.update(argument.variables())
+        for literal in adorned_rule.body[:position]:
+            available.update(literal.variables())
+        kept = available & needed_variables(adorned_rule, position)
+        args = _ordered_subset(adorned_rule.rule, kept)
+        return Literal(
+            supplementary_name(rule_index + 1, position + 1), args
+        )
+
+    # supplementary rules sup_j :- sup_{j-1}, body[j-1]  (j = 1..last)
+    if last is not None:
+        for position in range(1, last + 1):
+            body = (sup_literal(position - 1), adorned_rule.body[position - 1])
+            origins = (
+                BodyOrigin(
+                    "guard" if position - 1 == 0 else "supplementary",
+                    position - 1,
+                ),
+                BodyOrigin("literal", position - 1),
+            )
+            out.append(
+                RewrittenRule(
+                    Rule(sup_literal(position), body),
+                    RuleProvenance(
+                        role="supplementary",
+                        source_rule=rule_index,
+                        target_position=position,
+                        body_origins=origins,
+                    ),
+                )
+            )
+
+    # magic rules: magic_q(theta^b) :- sup_j  for each arc-fed position
+    for position, literal in enumerate(adorned_rule.body):
+        if (
+            literal.adornment is None
+            or "b" not in literal.adornment
+            or not adorned_rule.sip.arcs_into(position)
+        ):
+            continue
+        magic_head = magic_literal_for(literal)
+        body_literal = sup_literal(position)
+        rule = Rule(magic_head, (body_literal,))
+        if optimize and _is_tautology(rule):
+            continue
+        out.append(
+            RewrittenRule(
+                rule,
+                RuleProvenance(
+                    role="magic",
+                    source_rule=rule_index,
+                    target_position=position,
+                    body_origins=(
+                        BodyOrigin(
+                            "guard" if position == 0 else "supplementary",
+                            position,
+                        ),
+                    ),
+                ),
+            )
+        )
+
+    # modified rule: head :- sup_last, body[last..]
+    anchor = 0 if last is None else last
+    body: List[Literal] = [sup_literal(anchor)]
+    origins: List[BodyOrigin] = [
+        BodyOrigin("guard" if anchor == 0 else "supplementary", anchor)
+    ]
+    for position in range(anchor, len(adorned_rule.body)):
+        body.append(adorned_rule.body[position])
+        origins.append(BodyOrigin("literal", position))
+    out.append(
+        RewrittenRule(
+            Rule(head, tuple(body)),
+            RuleProvenance(
+                role="modified",
+                source_rule=rule_index,
+                body_origins=tuple(origins),
+            ),
+        )
+    )
+    return out
+
+
+def _is_tautology(rule: Rule) -> bool:
+    return len(rule.body) == 1 and rule.body[0] == rule.head

@@ -1,0 +1,250 @@
+"""Generalized supplementary counting (GSC) -- Section 7.
+
+The counting analogue of GSMS: intermediate joins are stored in
+*supplementary counting predicates* ``supcntR_J(I, K, H, phi_J)`` so that
+counting rules and the modified rule project from them instead of
+re-evaluating prefixes.  The index fields ride along the supplementary
+chain unchanged ("running indices").
+
+As in GSMS:
+
+* ``supcntR_1`` is not materialized -- occurrences are replaced by
+  ``cnt_p_ind(I, K, H, x^b)``;
+* each ``phi_j`` keeps only variables still needed later;
+* all-free head rules fall back to the plain counting transformation for
+  that rule (no counting seed exists to anchor the chain).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.ast import Literal, Program, Rule
+from ..datalog.errors import RewriteError
+from ..datalog.terms import Term, Variable
+from .adornment import AdornedProgram, AdornedRule
+from .counting import (
+    IndexScheme,
+    NumericIndexScheme,
+    StructuralIndexScheme,
+    _check_range_restricted,
+    _counting_literal,
+    _counting_rules_for,
+    _indexed_literal,
+    _is_bound_adorned,
+    _modified_rule_for,
+)
+from .naming import counting_name, indexed_name, supplementary_counting_name
+from .provenance import (
+    BodyOrigin,
+    RewrittenProgram,
+    RewrittenRule,
+    RuleProvenance,
+)
+from .supplementary import needed_variables
+
+__all__ = ["supplementary_counting_rewrite"]
+
+_SCHEMES = {
+    "numeric": NumericIndexScheme,
+    "structural": StructuralIndexScheme,
+}
+
+
+def supplementary_counting_rewrite(
+    adorned: AdornedProgram,
+    mode: str = "numeric",
+    optimize: bool = True,
+) -> RewrittenProgram:
+    """Rewrite an adorned program by generalized supplementary counting."""
+    if mode not in _SCHEMES:
+        raise ValueError(
+            f"unknown index mode {mode!r}; expected one of {sorted(_SCHEMES)}"
+        )
+    scheme_cls = _SCHEMES[mode]
+    rule_count = len(adorned.rules)
+    max_body = adorned.max_body_length()
+
+    registry: Dict[str, Tuple[str, str, str]] = {}
+    rewritten: List[RewrittenRule] = []
+    for rule_index, adorned_rule in enumerate(adorned.rules):
+        scheme = scheme_cls(rule_count, max_body, adorned_rule.rule.variables())
+        rewritten.extend(
+            _rewrite_rule(adorned_rule, rule_index, scheme, registry, optimize)
+        )
+    for rewritten_rule in rewritten:
+        _check_range_restricted(rewritten_rule.rule)
+
+    query_literal = adorned.query_literal
+    index_arity = scheme_cls.arity
+    if "b" in query_literal.adornment:
+        seed = Literal(
+            counting_name(query_literal.pred, query_literal.adornment),
+            scheme_cls.seed_args() + query_literal.bound_args(),
+        )
+        seeds: Tuple[Literal, ...] = (seed,)
+        answer_key = indexed_name(query_literal.pred, query_literal.adornment)
+        offset = index_arity
+    else:
+        seeds = ()
+        answer_key = query_literal.pred_key
+        offset = 0
+
+    selection = tuple(
+        (offset + i, arg)
+        for i, arg in enumerate(query_literal.args)
+        if arg.is_ground()
+    )
+    projection = tuple(
+        offset + i
+        for i, arg in enumerate(query_literal.args)
+        if not arg.is_ground()
+    )
+    return RewrittenProgram(
+        method="supplementary_counting",
+        rules=rewritten,
+        seed_facts=seeds,
+        query=adorned.query,
+        answer_pred_key=answer_key,
+        answer_selection=selection,
+        answer_projection=projection,
+        adorned=adorned,
+        index_arity=index_arity,
+        registry=registry,
+    )
+
+
+def _last_arc_position(adorned_rule: AdornedRule) -> Optional[int]:
+    last = None
+    for position, literal in enumerate(adorned_rule.body):
+        if _is_bound_adorned(literal) and adorned_rule.sip.arcs_into(position):
+            last = position
+    return last
+
+
+def _rewrite_rule(
+    adorned_rule: AdornedRule,
+    rule_index: int,
+    scheme: IndexScheme,
+    registry: Dict,
+    optimize: bool,
+) -> List[RewrittenRule]:
+    head_literal = adorned_rule.head
+    rule_number = rule_index + 1
+    if not _is_bound_adorned(head_literal):
+        # no counting seed to anchor the chain: plain counting fallback
+        out = _counting_rules_for(
+            adorned_rule, rule_index, scheme, registry, optimize
+        )
+        out.append(
+            _modified_rule_for(
+                adorned_rule, rule_index, scheme, registry, optimize
+            )
+        )
+        return out
+
+    out: List[RewrittenRule] = []
+    last = _last_arc_position(adorned_rule)
+    guard = _counting_literal(head_literal, scheme.head_args(), registry)
+
+    def ordered_phi(position: int) -> Tuple[Variable, ...]:
+        available: Set[Variable] = set()
+        for argument in head_literal.bound_args():
+            available.update(argument.variables())
+        for literal in adorned_rule.body[:position]:
+            available.update(literal.variables())
+        kept = available & needed_variables(adorned_rule, position)
+        return tuple(
+            v for v in adorned_rule.rule.variables() if v in kept
+        )
+
+    def sup_literal(position: int) -> Literal:
+        if position == 0:
+            return guard
+        name = supplementary_counting_name(rule_number, position + 1)
+        registry[name] = ("sup", head_literal.pred, head_literal.adornment)
+        return Literal(name, scheme.head_args() + ordered_phi(position))
+
+    def body_literal_at(position: int) -> Tuple[Literal, BodyOrigin]:
+        literal = adorned_rule.body[position]
+        if _is_bound_adorned(literal):
+            child = scheme.child_args(rule_number, position + 1)
+            return (
+                _indexed_literal(literal, child, registry),
+                BodyOrigin("literal", position),
+            )
+        return literal, BodyOrigin("literal", position)
+
+    # supplementary counting rules sup_j :- sup_{j-1}, body[j-1]
+    if last is not None:
+        for position in range(1, last + 1):
+            previous = sup_literal(position - 1)
+            consumed, consumed_origin = body_literal_at(position - 1)
+            origins = (
+                BodyOrigin(
+                    "guard" if position - 1 == 0 else "supplementary",
+                    position - 1,
+                ),
+                consumed_origin,
+            )
+            out.append(
+                RewrittenRule(
+                    Rule(sup_literal(position), (previous, consumed)),
+                    RuleProvenance(
+                        role="supplementary_counting",
+                        source_rule=rule_index,
+                        target_position=position,
+                        body_origins=origins,
+                    ),
+                )
+            )
+
+    # counting rules: cnt_q(child-index, theta^b) :- sup_j
+    for position, literal in enumerate(adorned_rule.body):
+        if not _is_bound_adorned(literal):
+            continue
+        if not adorned_rule.sip.arcs_into(position):
+            continue
+        child = scheme.child_args(rule_number, position + 1)
+        head = _counting_literal(literal, child, registry)
+        body = (sup_literal(position),)
+        rule = Rule(head, body)
+        out.append(
+            RewrittenRule(
+                rule,
+                RuleProvenance(
+                    role="counting",
+                    source_rule=rule_index,
+                    target_position=position,
+                    body_origins=(
+                        BodyOrigin(
+                            "guard" if position == 0 else "supplementary",
+                            position,
+                        ),
+                    ),
+                ),
+            )
+        )
+
+    # modified rule: p_ind(I,K,H,chi) :- sup_last, body[last..] (indexed)
+    anchor = 0 if last is None else last
+    head = _indexed_literal(head_literal, scheme.head_args(), registry)
+    body_literals: List[Literal] = [sup_literal(anchor)]
+    origins_list: List[BodyOrigin] = [
+        BodyOrigin("guard" if anchor == 0 else "supplementary", anchor)
+    ]
+    for position in range(anchor, len(adorned_rule.body)):
+        literal, origin = body_literal_at(position)
+        body_literals.append(literal)
+        origins_list.append(origin)
+    out.append(
+        RewrittenRule(
+            Rule(head, tuple(body_literals)),
+            RuleProvenance(
+                role="modified",
+                source_rule=rule_index,
+                body_origins=tuple(origins_list),
+            ),
+        )
+    )
+    return out

@@ -1,0 +1,92 @@
+"""The deductive-database substrate: terms, rules, storage, evaluation.
+
+This subpackage is a self-contained Datalog-with-function-symbols engine:
+it knows nothing about sips or magic sets.  The paper's contribution
+(``repro.core``) is implemented as source-to-source transformations over
+these data structures, evaluated by this engine.
+"""
+
+from .ast import Literal, Program, Query, Rule
+from .database import Database, Relation
+from .engine import (
+    EvaluationResult,
+    EvaluationStats,
+    answer_tuples,
+    evaluate,
+    evaluate_naive,
+    evaluate_seminaive,
+)
+from .errors import (
+    AdornmentError,
+    ConnectivityError,
+    EvaluationError,
+    NonTerminationError,
+    ParseError,
+    ReproError,
+    RewriteError,
+    SafetyError,
+    SipValidationError,
+    WellFormednessError,
+)
+from .parser import (
+    parse_literal,
+    parse_program,
+    parse_query,
+    parse_rule,
+    parse_term,
+)
+from .terms import (
+    Constant,
+    EMPTY_LIST,
+    LinExpr,
+    Struct,
+    Term,
+    Variable,
+    make_list,
+    list_elements,
+)
+from .derivation import DerivationNode, explain, fact_stages
+from .topdown import QSQResult, qsq_evaluate
+
+__all__ = [
+    "Literal",
+    "Program",
+    "Query",
+    "Rule",
+    "Database",
+    "Relation",
+    "EvaluationResult",
+    "EvaluationStats",
+    "answer_tuples",
+    "evaluate",
+    "evaluate_naive",
+    "evaluate_seminaive",
+    "QSQResult",
+    "qsq_evaluate",
+    "DerivationNode",
+    "explain",
+    "fact_stages",
+    "Constant",
+    "EMPTY_LIST",
+    "LinExpr",
+    "Struct",
+    "Term",
+    "Variable",
+    "make_list",
+    "list_elements",
+    "parse_literal",
+    "parse_program",
+    "parse_query",
+    "parse_rule",
+    "parse_term",
+    "ReproError",
+    "ParseError",
+    "WellFormednessError",
+    "ConnectivityError",
+    "SipValidationError",
+    "AdornmentError",
+    "EvaluationError",
+    "NonTerminationError",
+    "SafetyError",
+    "RewriteError",
+]

@@ -1,0 +1,146 @@
+"""Static analysis of programs: dependencies, recursion, blocks.
+
+Provides the predicate dependency graph, Tarjan strongly connected
+components (the *blocks* of mutually recursive predicates used by the
+semijoin optimization, Theorem 8.3), and recursion/reachability queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from .ast import Program
+
+__all__ = [
+    "dependency_graph",
+    "strongly_connected_components",
+    "recursive_blocks",
+    "is_recursive_predicate",
+    "reachable_predicates",
+    "depends_on",
+]
+
+
+def dependency_graph(program: Program) -> Dict[str, Set[str]]:
+    """Map each derived predicate key to the predicate keys it depends on.
+
+    ``p -> q`` when some rule with head ``p`` mentions ``q`` in its body.
+    """
+    graph: Dict[str, Set[str]] = {}
+    for rule in program.rules:
+        deps = graph.setdefault(rule.head.pred_key, set())
+        for literal in rule.body:
+            deps.add(literal.pred_key)
+    return graph
+
+
+def strongly_connected_components(
+    graph: Dict[str, Set[str]]
+) -> List[FrozenSet[str]]:
+    """Tarjan's SCC algorithm (iterative), components in reverse
+    topological order (callees before callers)."""
+    index_counter = [0]
+    stack: List[str] = []
+    lowlink: Dict[str, int] = {}
+    index: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    components: List[FrozenSet[str]] = []
+    nodes = set(graph)
+    for targets in graph.values():
+        nodes.update(targets)
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(graph.get(root, ()))))]
+        index[root] = lowlink[root] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(frozenset(component))
+
+    for node in sorted(nodes):
+        if node not in index:
+            strongconnect(node)
+    return components
+
+
+def recursive_blocks(program: Program) -> List[FrozenSet[str]]:
+    """Maximal sets of mutually recursive predicates (Section 8 'blocks').
+
+    A singleton component counts as a block only when the predicate
+    depends on itself.
+    """
+    graph = dependency_graph(program)
+    blocks = []
+    for component in strongly_connected_components(graph):
+        if len(component) > 1:
+            blocks.append(component)
+            continue
+        member = next(iter(component))
+        if member in graph.get(member, ()):
+            blocks.append(component)
+    return blocks
+
+
+def is_recursive_predicate(program: Program, pred_key: str) -> bool:
+    """True when the predicate (transitively) depends on itself."""
+    graph = dependency_graph(program)
+    seen: Set[str] = set()
+    frontier = list(graph.get(pred_key, ()))
+    while frontier:
+        node = frontier.pop()
+        if node == pred_key:
+            return True
+        if node in seen:
+            continue
+        seen.add(node)
+        frontier.extend(graph.get(node, ()))
+    return False
+
+
+def reachable_predicates(program: Program, roots: Iterable[str]) -> Set[str]:
+    """Predicates reachable from the given roots in the dependency graph."""
+    graph = dependency_graph(program)
+    seen: Set[str] = set()
+    frontier = list(roots)
+    while frontier:
+        node = frontier.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        frontier.extend(graph.get(node, ()))
+    return seen
+
+
+def depends_on(program: Program, pred_key: str, other: str) -> bool:
+    """True when ``pred_key`` transitively depends on ``other``."""
+    return other in reachable_predicates(program, [pred_key]) and (
+        other != pred_key or is_recursive_predicate(program, pred_key)
+    )

@@ -1,0 +1,192 @@
+"""Extensional/intensional fact storage: indexed relations.
+
+A :class:`Relation` stores ground tuples (tuples of ground
+:class:`~repro.datalog.terms.Term`) and lazily builds hash indexes keyed
+by subsets of argument positions.  The bottom-up engine asks for the
+tuples matching the constants in the currently bound positions of a body
+literal, which the index answers in O(1) expected time -- this is what
+makes the magic-restricted joins cheap, mirroring the selection pushing
+the paper's transformations are designed to enable.
+
+A :class:`Database` is a mapping from predicate keys (see
+:attr:`Literal.pred_key`) to relations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .ast import Literal
+from .terms import Constant, Term
+
+__all__ = ["Relation", "Database", "FactTuple"]
+
+FactTuple = Tuple[Term, ...]
+
+
+class Relation:
+    """A set of ground tuples with lazy hash indexes.
+
+    Indexes are keyed by a sorted tuple of positions; each maps the
+    projection of a tuple on those positions to the list of tuples with
+    that projection.
+    """
+
+    __slots__ = ("name", "arity", "_tuples", "_indexes")
+
+    def __init__(self, name: str, arity: Optional[int] = None):
+        self.name = name
+        self.arity = arity
+        self._tuples: Set[FactTuple] = set()
+        self._indexes: Dict[Tuple[int, ...], Dict[FactTuple, List[FactTuple]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[FactTuple]:
+        return iter(self._tuples)
+
+    def __contains__(self, row: FactTuple) -> bool:
+        return tuple(row) in self._tuples
+
+    def add(self, row: Iterable[Term]) -> bool:
+        """Insert a tuple; returns True when it was new."""
+        row = tuple(row)
+        if self.arity is None:
+            self.arity = len(row)
+        elif len(row) != self.arity:
+            raise ValueError(
+                f"relation {self.name}: arity mismatch, expected "
+                f"{self.arity}, got tuple of length {len(row)}"
+            )
+        for term in row:
+            if not term.is_ground():
+                raise ValueError(
+                    f"relation {self.name}: tuple {row} is not ground"
+                )
+        if row in self._tuples:
+            return False
+        self._tuples.add(row)
+        for positions, index in self._indexes.items():
+            key = tuple(row[i] for i in positions)
+            index.setdefault(key, []).append(row)
+        return True
+
+    def add_many(self, rows: Iterable[Iterable[Term]]) -> int:
+        """Insert many tuples; returns the number that were new."""
+        added = 0
+        for row in rows:
+            if self.add(row):
+                added += 1
+        return added
+
+    def lookup(
+        self, positions: Tuple[int, ...], key: FactTuple
+    ) -> List[FactTuple]:
+        """Tuples whose projection on ``positions`` equals ``key``.
+
+        ``positions`` must be sorted ascending.  An empty position tuple
+        returns all tuples.
+        """
+        if not positions:
+            return list(self._tuples)
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for row in self._tuples:
+                row_key = tuple(row[i] for i in positions)
+                index.setdefault(row_key, []).append(row)
+            self._indexes[positions] = index
+        return index.get(key, [])
+
+    def copy(self) -> "Relation":
+        duplicate = Relation(self.name, self.arity)
+        duplicate._tuples = set(self._tuples)
+        return duplicate
+
+    def __repr__(self):
+        return f"Relation({self.name!r}, {len(self)} tuples)"
+
+
+class Database:
+    """A named collection of relations, keyed by predicate key."""
+
+    __slots__ = ("_relations",)
+
+    def __init__(self):
+        self._relations: Dict[str, Relation] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def relation(self, pred_key: str) -> Relation:
+        """Get (or create) the relation for a predicate key."""
+        rel = self._relations.get(pred_key)
+        if rel is None:
+            rel = Relation(pred_key)
+            self._relations[pred_key] = rel
+        return rel
+
+    def get(self, pred_key: str) -> Optional[Relation]:
+        return self._relations.get(pred_key)
+
+    def add_fact(self, literal: Literal) -> bool:
+        """Insert a ground literal as a tuple of its relation."""
+        if not literal.is_ground():
+            raise ValueError(f"fact {literal} is not ground")
+        return self.relation(literal.pred_key).add(literal.args)
+
+    def add_facts(self, literals: Iterable[Literal]) -> int:
+        return sum(1 for lit in literals if self.add_fact(lit))
+
+    def add_tuples(self, pred_key: str, rows: Iterable[Iterable[Term]]) -> int:
+        return self.relation(pred_key).add_many(rows)
+
+    def add_values(self, pred_key: str, rows: Iterable[Iterable[object]]) -> int:
+        """Insert rows of raw Python values, wrapping them in Constants."""
+        wrapped = (tuple(Constant(v) for v in row) for row in rows)
+        return self.relation(pred_key).add_many(wrapped)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def predicate_keys(self) -> Set[str]:
+        return set(self._relations)
+
+    def has_fact(self, literal: Literal) -> bool:
+        rel = self._relations.get(literal.pred_key)
+        return rel is not None and tuple(literal.args) in rel
+
+    def tuples(self, pred_key: str) -> Set[FactTuple]:
+        rel = self._relations.get(pred_key)
+        if rel is None:
+            return set()
+        return set(rel)
+
+    def total_facts(self) -> int:
+        return sum(len(rel) for rel in self._relations.values())
+
+    def fact_counts(self) -> Dict[str, int]:
+        return {key: len(rel) for key, rel in self._relations.items()}
+
+    def copy(self) -> "Database":
+        duplicate = Database()
+        for key, rel in self._relations.items():
+            duplicate._relations[key] = rel.copy()
+        return duplicate
+
+    def merged_with(self, other: "Database") -> "Database":
+        """A new database containing the facts of both."""
+        merged = self.copy()
+        for key, rel in other._relations.items():
+            merged.relation(key).add_many(rel)
+        return merged
+
+    def __contains__(self, pred_key: str) -> bool:
+        return pred_key in self._relations
+
+    def __repr__(self):
+        parts = ", ".join(
+            f"{key}:{len(rel)}" for key, rel in sorted(self._relations.items())
+        )
+        return f"Database({parts})"

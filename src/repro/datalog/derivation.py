@@ -1,0 +1,245 @@
+"""Derivation trees: how a derived fact follows from base facts.
+
+Section 1.1 of the paper: "for each fact that belongs to a derived
+predicate, there exists a finite derivation tree … the tree has p(c) at
+its root, the leaves are base facts, and each internal node is labeled
+by a fact and by a rule that generates this fact from the facts labeling
+its children."  The equivalence proofs (Theorems 3.1/4.1/5.1/6.1/7.1)
+are inductions over these trees, and the counting indices of Section 6
+are precisely encodings of derivation paths.
+
+This module reconstructs one derivation tree per fact *after* an
+evaluation, by replaying rules against the fixpoint: a fact's
+derivation uses only facts derivable in strictly earlier rounds, which
+we witness by recomputing the stage (round number) of every derived
+fact and then searching for a rule instance whose body facts all have
+smaller stages.  Reconstruction is deterministic (rules and matches are
+tried in order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .ast import Literal, Program, Rule
+from .database import Database, FactTuple
+from .engine import EvaluationResult, EvaluationStats, _evaluate_rule
+from .errors import EvaluationError
+from .terms import Term
+from .unify import match_sequences, resolve
+
+__all__ = ["DerivationNode", "explain", "fact_stages"]
+
+
+@dataclass
+class DerivationNode:
+    """One node of a derivation tree.
+
+    ``rule`` is None for leaves (base facts / seeds).
+    """
+
+    literal: Literal
+    rule: Optional[Rule] = None
+    children: Tuple["DerivationNode", ...] = ()
+
+    def is_leaf(self) -> bool:
+        return self.rule is None
+
+    def height(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.height() for child in self.children)
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+    def leaves(self) -> List[Literal]:
+        if not self.children:
+            return [self.literal]
+        out: List[Literal] = []
+        for child in self.children:
+            out.extend(child.leaves())
+        return out
+
+    def render(self, indent: str = "") -> str:
+        """A human-readable tree rendering."""
+        label = str(self.literal)
+        if self.rule is not None:
+            label += f"   [by {self.rule}]"
+        lines = [indent + label]
+        for child in self.children:
+            lines.append(child.render(indent + "  "))
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.render()
+
+
+def fact_stages(
+    program: Program,
+    base: Database,
+    result: EvaluationResult,
+) -> Dict[str, Dict[FactTuple, int]]:
+    """The round at which each derived fact first becomes derivable.
+
+    Base facts (and seeded facts present in ``base``) have stage 0.
+    Replays a naive fixpoint over the (already computed) result, which
+    terminates in at most as many rounds as the original evaluation.
+    """
+    derived_keys = result.derived_keys
+    stages: Dict[str, Dict[FactTuple, int]] = {
+        key: {} for key in derived_keys
+    }
+    # facts the caller supplied (e.g. magic seeds) are stage 0
+    for key in derived_keys:
+        base_relation = base.get(key)
+        if base_relation is None:
+            continue
+        for row in base_relation:
+            stages[key][row] = 0
+
+    working = base.copy()
+    stats = EvaluationStats()
+    round_number = 0
+    changed = True
+    while changed:
+        changed = False
+        round_number += 1
+        # evaluate the whole round against the previous round's facts so
+        # that stages are simultaneous (a fact's supporters always have a
+        # strictly smaller stage)
+        snapshot = working.copy()
+        pending: List[Tuple[str, FactTuple]] = []
+        for rule in program.rules:
+            head_key = rule.head.pred_key
+            for row in _evaluate_rule(rule, snapshot, stats):
+                pending.append((head_key, row))
+        for head_key, row in pending:
+            if working.relation(head_key).add(row):
+                stages.setdefault(head_key, {})[row] = round_number
+                changed = True
+    return stages
+
+
+def explain(
+    program: Program,
+    base: Database,
+    result: EvaluationResult,
+    fact: Literal,
+    _stages: Optional[Dict[str, Dict[FactTuple, int]]] = None,
+) -> DerivationNode:
+    """Reconstruct one derivation tree for a derived fact.
+
+    ``base`` must be the database the evaluation started from (base
+    relations plus any seeds); ``result`` the finished evaluation.
+    Raises :class:`EvaluationError` when the fact does not hold.
+    """
+    if not fact.is_ground():
+        raise EvaluationError(f"cannot explain non-ground fact {fact}")
+    key = fact.pred_key
+    row = tuple(fact.args)
+    if key not in result.derived_keys:
+        if result.database.has_fact(fact):
+            return DerivationNode(fact)
+        raise EvaluationError(f"base fact {fact} does not hold")
+    if row not in result.database.tuples(key):
+        raise EvaluationError(f"fact {fact} was not derived")
+
+    stages = _stages if _stages is not None else fact_stages(
+        program, base, result
+    )
+    return _explain_rec(program, base, result, fact, stages, set())
+
+
+def _explain_rec(
+    program: Program,
+    base: Database,
+    result: EvaluationResult,
+    fact: Literal,
+    stages: Dict[str, Dict[FactTuple, int]],
+    in_progress: Set[Tuple[str, FactTuple]],
+) -> DerivationNode:
+    key = fact.pred_key
+    row = tuple(fact.args)
+    if key not in result.derived_keys:
+        return DerivationNode(fact)
+    stage = stages.get(key, {}).get(row)
+    if stage == 0:
+        # seeded fact: a leaf from the caller's perspective
+        return DerivationNode(fact)
+    if stage is None:
+        raise EvaluationError(f"fact {fact} has no recorded stage")
+    marker = (key, row)
+    if marker in in_progress:
+        raise EvaluationError(
+            f"cyclic reconstruction for {fact}; stages are inconsistent"
+        )
+    in_progress.add(marker)
+    try:
+        for rule in program.rules_for(key):
+            instance = _find_supporting_instance(
+                rule, fact, result.database, stages, stage
+            )
+            if instance is None:
+                continue
+            children = []
+            for body_literal in instance:
+                children.append(
+                    _explain_rec(
+                        program, base, result, body_literal, stages,
+                        in_progress,
+                    )
+                )
+            return DerivationNode(fact, rule, tuple(children))
+    finally:
+        in_progress.discard(marker)
+    raise EvaluationError(
+        f"no rule instance re-derives {fact}; the result database does "
+        "not match the program"
+    )
+
+
+def _find_supporting_instance(
+    rule: Rule,
+    fact: Literal,
+    database: Database,
+    stages: Dict[str, Dict[FactTuple, int]],
+    stage: int,
+) -> Optional[List[Literal]]:
+    """A ground body instance deriving ``fact`` from earlier-stage facts."""
+    head_binding = match_sequences(rule.head.args, fact.args)
+    if head_binding is None:
+        return None
+
+    body = rule.body
+
+    def extend(index: int, subst) -> Optional[List[Literal]]:
+        if index == len(body):
+            return []
+        literal = body[index]
+        resolved = tuple(resolve(arg, subst) for arg in literal.args)
+        key = literal.pred_key
+        relation = database.get(key)
+        if relation is None:
+            return None
+        bound_positions = tuple(
+            i for i, arg in enumerate(resolved) if arg.is_ground()
+        )
+        lookup_key = tuple(resolved[i] for i in bound_positions)
+        for row in relation.lookup(bound_positions, lookup_key):
+            row_stage = stages.get(key, {}).get(row)
+            if row_stage is not None and row_stage >= stage:
+                continue  # would not be available strictly earlier
+            extended = match_sequences(resolved, row, subst)
+            if extended is None:
+                continue
+            rest = extend(index + 1, extended)
+            if rest is not None:
+                ground_literal = Literal(
+                    literal.pred, row, literal.adornment
+                )
+                return [ground_literal] + rest
+        return None
+
+    return extend(0, head_binding)

@@ -1,0 +1,338 @@
+"""Bottom-up evaluation: naive and semi-naive fixpoint computation.
+
+This is the evaluation substrate the paper assumes (Section 1.1): start
+with the database relations and empty derived predicates; in each stage
+add every tuple implied by a rule given the previous stage; the limit of
+the monotonically increasing sequence is the answer.  Completeness is the
+classical least-fixed-point result [van Emden & Kowalski; Lloyd 84].
+
+Two strategies are provided:
+
+* :func:`evaluate_naive` -- recompute every rule against the whole
+  database each iteration (the paper's strawman in Section 1);
+* :func:`evaluate_seminaive` -- the standard differential evaluation: a
+  rule fires only when at least one derived body literal is matched
+  against the *delta* (facts new in the previous iteration).
+
+Both are instrumented (:class:`EvaluationStats`): the paper's claims are
+about the *number of facts computed* (Sections 9 and 11), so counting
+derivations, firings, and index probes is the measurement apparatus of
+the reproduction.
+
+Programs with function symbols need not terminate (Section 1.1 notes the
+limit may be infinite); both strategies accept iteration and fact budgets
+and raise :class:`~repro.datalog.errors.NonTerminationError` on overrun.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .ast import Literal, Program, Rule
+from .database import Database, FactTuple, Relation
+from .errors import EvaluationError, NonTerminationError
+from .terms import Constant, LinExpr, Struct, Term, Variable
+from .unify import Substitution, match_sequences, resolve
+
+__all__ = [
+    "EvaluationStats",
+    "EvaluationResult",
+    "evaluate_naive",
+    "evaluate_seminaive",
+    "evaluate",
+    "answer_tuples",
+]
+
+
+@dataclass
+class EvaluationStats:
+    """Work counters for one bottom-up evaluation."""
+
+    iterations: int = 0
+    #: successful body matches (head instances produced, incl. duplicates)
+    rule_firings: int = 0
+    #: facts that were new when derived
+    facts_derived: int = 0
+    #: head instances that had already been derived
+    duplicate_derivations: int = 0
+    #: index lookups performed during joins
+    join_probes: int = 0
+    #: tuples scanned while extending partial matches
+    tuples_scanned: int = 0
+    facts_by_predicate: Dict[str, int] = field(default_factory=dict)
+
+    def record_fact(self, pred_key: str) -> None:
+        self.facts_derived += 1
+        self.facts_by_predicate[pred_key] = (
+            self.facts_by_predicate.get(pred_key, 0) + 1
+        )
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of a bottom-up evaluation.
+
+    ``database`` holds base *and* derived facts; ``derived_keys`` lists
+    the predicate keys the program defines (so callers can separate IDB
+    from EDB), and ``stats`` the work counters.
+    """
+
+    database: Database
+    derived_keys: Set[str]
+    stats: EvaluationStats
+
+    def derived_tuples(self, pred_key: str) -> Set[FactTuple]:
+        return self.database.tuples(pred_key)
+
+    def derived_fact_count(self) -> int:
+        return sum(
+            len(self.database.tuples(key)) for key in self.derived_keys
+        )
+
+
+# ----------------------------------------------------------------------
+# single-rule evaluation (the join)
+# ----------------------------------------------------------------------
+
+def _literal_rows(
+    literal: Literal,
+    subst: Substitution,
+    database: Database,
+    override: Optional[Tuple[str, Relation]],
+    stats: EvaluationStats,
+) -> Tuple[List[FactTuple], Tuple[Term, ...]]:
+    """Rows that may match a body literal under the current bindings.
+
+    Returns the candidate rows (narrowed through an index on the
+    currently-ground argument positions) and the resolved argument
+    patterns to finish the match with.
+    """
+    if override is not None and literal.pred_key == override[0]:
+        relation: Optional[Relation] = override[1]
+    else:
+        relation = database.get(literal.pred_key)
+    if relation is None or len(relation) == 0:
+        return [], ()
+    resolved = tuple(resolve(arg, subst) for arg in literal.args)
+    bound_positions = tuple(
+        i for i, arg in enumerate(resolved) if arg.is_ground()
+    )
+    key = tuple(resolved[i] for i in bound_positions)
+    stats.join_probes += 1
+    rows = relation.lookup(bound_positions, key)
+    return rows, resolved
+
+
+def _evaluate_rule(
+    rule: Rule,
+    database: Database,
+    stats: EvaluationStats,
+    delta: Optional[Tuple[int, str, Relation]] = None,
+) -> List[FactTuple]:
+    """All head instances derivable from one rule (one delta choice).
+
+    ``delta``, when given, is ``(occurrence_index, pred_key, relation)``:
+    the body literal at that index is matched against the delta relation
+    instead of the full one.  The join proceeds left-to-right, carrying a
+    substitution; index lookups narrow each literal to the rows agreeing
+    with the currently-ground argument positions.
+    """
+    produced: List[FactTuple] = []
+    body = rule.body
+
+    def extend(index: int, subst: Substitution) -> None:
+        if index == len(body):
+            head_args = tuple(resolve(arg, subst) for arg in rule.head.args)
+            for value in head_args:
+                if not value.is_ground():
+                    raise EvaluationError(
+                        f"rule {rule} produced a non-ground head argument "
+                        f"{value}; the rule is not range-restricted for "
+                        "this database"
+                    )
+            stats.rule_firings += 1
+            produced.append(head_args)
+            return
+        literal = body[index]
+        override = None
+        if delta is not None and index == delta[0]:
+            override = (delta[1], delta[2])
+        elif delta is not None and literal.pred_key == delta[1]:
+            # non-delta occurrence of the delta predicate: use the full
+            # relation (which already includes the delta facts)
+            override = None
+        rows, resolved = _literal_rows(
+            literal, subst, database, override, stats
+        )
+        for row in rows:
+            stats.tuples_scanned += 1
+            extended = match_sequences(resolved, row, subst)
+            if extended is not None:
+                extend(index + 1, extended)
+
+    extend(0, {})
+    return produced
+
+
+# ----------------------------------------------------------------------
+# fixpoint strategies
+# ----------------------------------------------------------------------
+
+def _check_budget(
+    stats: EvaluationStats,
+    total_derived: int,
+    max_iterations: Optional[int],
+    max_facts: Optional[int],
+) -> None:
+    if max_iterations is not None and stats.iterations > max_iterations:
+        raise NonTerminationError(
+            f"bottom-up evaluation exceeded {max_iterations} iterations "
+            f"({total_derived} facts derived); the program/query pair may "
+            "be unsafe (see Section 10 of the paper)",
+            iterations=stats.iterations,
+            facts=total_derived,
+        )
+    if max_facts is not None and total_derived > max_facts:
+        raise NonTerminationError(
+            f"bottom-up evaluation exceeded {max_facts} derived facts "
+            f"after {stats.iterations} iterations",
+            iterations=stats.iterations,
+            facts=total_derived,
+        )
+
+
+def evaluate_naive(
+    program: Program,
+    database: Database,
+    max_iterations: Optional[int] = None,
+    max_facts: Optional[int] = None,
+) -> EvaluationResult:
+    """Naive bottom-up fixpoint: all rules against all facts, each round."""
+    working = database.copy()
+    stats = EvaluationStats()
+    derived_keys = program.derived_predicates()
+    changed = True
+    while changed:
+        changed = False
+        stats.iterations += 1
+        _check_budget(
+            stats, stats.facts_derived, max_iterations, max_facts
+        )
+        for rule in program.rules:
+            head_key = rule.head.pred_key
+            relation = working.relation(head_key)
+            for row in _evaluate_rule(rule, working, stats):
+                if relation.add(row):
+                    stats.record_fact(head_key)
+                    changed = True
+                else:
+                    stats.duplicate_derivations += 1
+        if max_facts is not None and stats.facts_derived > max_facts:
+            _check_budget(stats, stats.facts_derived, None, max_facts)
+    return EvaluationResult(working, derived_keys, stats)
+
+
+def evaluate_seminaive(
+    program: Program,
+    database: Database,
+    max_iterations: Optional[int] = None,
+    max_facts: Optional[int] = None,
+) -> EvaluationResult:
+    """Semi-naive bottom-up fixpoint (differential evaluation).
+
+    For each rule and each body occurrence of a derived predicate, a
+    delta version of the rule matches that occurrence against the facts
+    new in the previous round.  Rules whose body mentions no derived
+    predicate fire once, in round one.
+    """
+    working = database.copy()
+    stats = EvaluationStats()
+    derived_keys = program.derived_predicates()
+
+    # round 1: all rules against the base database (derived relations are
+    # empty, so only base-only rules can fire; rules with derived body
+    # literals fire iff those relations already hold facts, which they do
+    # not -- unless the caller preloaded derived facts, which we support
+    # by simply evaluating every rule naively once).
+    deltas: Dict[str, Relation] = {}
+    stats.iterations = 1
+    for rule in program.rules:
+        head_key = rule.head.pred_key
+        relation = working.relation(head_key)
+        for row in _evaluate_rule(rule, working, stats):
+            if relation.add(row):
+                stats.record_fact(head_key)
+                delta_rel = deltas.setdefault(head_key, Relation(head_key))
+                delta_rel.add(row)
+            else:
+                stats.duplicate_derivations += 1
+
+    # subsequent rounds: delta-driven
+    while deltas:
+        stats.iterations += 1
+        _check_budget(stats, stats.facts_derived, max_iterations, max_facts)
+        new_deltas: Dict[str, Relation] = {}
+        for rule in program.rules:
+            head_key = rule.head.pred_key
+            relation = working.relation(head_key)
+            seen_positions: Set[int] = set()
+            for index, literal in enumerate(rule.body):
+                if literal.pred_key not in deltas:
+                    continue
+                if literal.pred_key not in derived_keys:
+                    continue
+                seen_positions.add(index)
+                delta_spec = (index, literal.pred_key, deltas[literal.pred_key])
+                for row in _evaluate_rule(rule, working, stats, delta_spec):
+                    if relation.add(row):
+                        stats.record_fact(head_key)
+                        new_rel = new_deltas.setdefault(
+                            head_key, Relation(head_key)
+                        )
+                        new_rel.add(row)
+                    else:
+                        stats.duplicate_derivations += 1
+        deltas = new_deltas
+        if max_facts is not None and stats.facts_derived > max_facts:
+            _check_budget(stats, stats.facts_derived, None, max_facts)
+    return EvaluationResult(working, derived_keys, stats)
+
+
+def evaluate(
+    program: Program,
+    database: Database,
+    method: str = "seminaive",
+    max_iterations: Optional[int] = None,
+    max_facts: Optional[int] = None,
+) -> EvaluationResult:
+    """Dispatch to a bottom-up strategy by name."""
+    if method == "naive":
+        return evaluate_naive(program, database, max_iterations, max_facts)
+    if method == "seminaive":
+        return evaluate_seminaive(
+            program, database, max_iterations, max_facts
+        )
+    raise ValueError(f"unknown evaluation method {method!r}")
+
+
+def answer_tuples(
+    result: EvaluationResult,
+    query_literal: Literal,
+) -> Set[FactTuple]:
+    """Apply the query's selection/projection to an evaluation result.
+
+    Returns the set of bindings for the query's free positions, i.e. the
+    *answer* of Section 1.1 ("the set of bindings to the vector of
+    variables X that make the query expression true").
+    """
+    free_positions = [
+        i for i, arg in enumerate(query_literal.args) if not arg.is_ground()
+    ]
+    answers: Set[FactTuple] = set()
+    for row in result.database.tuples(query_literal.pred_key):
+        binding = match_sequences(query_literal.args, row)
+        if binding is None:
+            continue
+        answers.add(tuple(row[i] for i in free_positions))
+    return answers

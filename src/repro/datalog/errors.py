@@ -1,0 +1,86 @@
+"""Exception hierarchy for the Datalog substrate and the rewriting core.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type at the boundary of the library.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ParseError(ReproError):
+    """Raised when the surface-syntax parser cannot make sense of its input.
+
+    Carries the offending line and column so tooling can point at the
+    problem.
+    """
+
+    def __init__(self, message, line=None, column=None, text=None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+        self.text = text
+
+
+class WellFormednessError(ReproError):
+    """Raised when a rule violates condition (WF) of Section 1.1.
+
+    (WF): each variable that appears in the head of a rule must also
+    appear in its body.
+    """
+
+
+class ConnectivityError(ReproError):
+    """Raised when a rule violates condition (C) of Section 1.1.
+
+    (C): the predicate occurrences of a rule must form a single connected
+    component (via shared variables).
+    """
+
+
+class SipValidationError(ReproError):
+    """Raised when a sip graph violates conditions (1)-(3) of Section 2."""
+
+
+class AdornmentError(ReproError):
+    """Raised for malformed adornment strings or inconsistent adorned use."""
+
+
+class EvaluationError(ReproError):
+    """Raised when bottom-up or top-down evaluation cannot proceed."""
+
+
+class NonTerminationError(EvaluationError):
+    """Raised when evaluation exceeds its iteration or fact budget.
+
+    Bottom-up evaluation of programs with function symbols (and the
+    counting transformations on cyclic data, Theorem 10.3) need not
+    terminate; the engine converts a configured budget overrun into this
+    error instead of looping forever.
+    """
+
+    def __init__(self, message, iterations=None, facts=None):
+        super().__init__(message)
+        self.iterations = iterations
+        self.facts = facts
+
+
+class SafetyError(ReproError):
+    """Raised when a safety analysis cannot certify a program/query pair."""
+
+
+class RewriteError(ReproError):
+    """Raised when a rewriting algorithm is applied outside its domain.
+
+    For example: requesting a counting rewrite for a program whose
+    reachable argument graph is cyclic (Theorem 10.3) with
+    ``require_safe=True``.
+    """

@@ -1,0 +1,301 @@
+"""Parser for a Prolog-ish Datalog surface syntax.
+
+Grammar (informal)::
+
+    program   := (clause | query | comment)*
+    clause    := literal ( ":-" literal ("," literal)* )? "."
+    query     := "?-" literal "." | literal "?"
+    literal   := NAME ( "(" term ("," term)* ")" )?
+    term      := VARIABLE | NAME | NUMBER | STRING
+               | NAME "(" term ("," term)* ")"
+               | "[" "]" | "[" term ("," term)* ("|" term)? "]"
+
+Conventions follow the paper (Section 1.1): identifiers beginning with an
+uppercase letter or underscore are variables; lowercase identifiers and
+numerals are constants or predicate/function names.  ``%`` starts a
+line comment.
+
+:func:`parse_program` returns ``(Program, facts, queries)`` so a single
+source file can carry rules, ground facts (loaded into a database by the
+caller) and queries.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .ast import Literal, Program, Query, Rule
+from .errors import ParseError
+from .terms import Constant, EMPTY_LIST, Struct, Term, Variable, make_list
+
+__all__ = [
+    "parse_program",
+    "parse_rule",
+    "parse_literal",
+    "parse_term",
+    "parse_query",
+    "ParsedSource",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>%[^\n]*)
+  | (?P<implies>:-)
+  | (?P<qmark>\?-)
+  | (?P<punct>[()\[\],.|?])
+  | (?P<number>-?\d+)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<name>[a-z][A-Za-z0-9_]*)
+  | (?P<variable>[A-Z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind: str, text: str, line: int, column: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return f"_Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise ParseError(
+                f"unexpected character {source[pos]!r}",
+                line=line,
+                column=pos - line_start + 1,
+            )
+        kind = m.lastgroup
+        text = m.group()
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, text, line, m.start() - line_start + 1))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = m.start() + text.rfind("\n") + 1
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.tokens = _tokenize(source)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    def peek(self) -> Optional[_Token]:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self.pos += 1
+        return token
+
+    def expect(self, text: str) -> _Token:
+        token = self.next()
+        if token.text != text:
+            raise ParseError(
+                f"expected {text!r}, found {token.text!r}",
+                line=token.line,
+                column=token.column,
+            )
+        return token
+
+    def at(self, text: str) -> bool:
+        token = self.peek()
+        return token is not None and token.text == text
+
+    # ------------------------------------------------------------------
+    def parse_term(self) -> Term:
+        token = self.next()
+        if token.kind == "variable":
+            return Variable(token.text)
+        if token.kind == "number":
+            return Constant(int(token.text))
+        if token.kind == "string":
+            return Constant(token.text[1:-1].replace('\\"', '"'))
+        if token.kind == "name":
+            if self.at("("):
+                self.next()
+                args = [self.parse_term()]
+                while self.at(","):
+                    self.next()
+                    args.append(self.parse_term())
+                self.expect(")")
+                return Struct(token.text, tuple(args))
+            return Constant(token.text)
+        if token.text == "[":
+            return self._parse_list()
+        raise ParseError(
+            f"unexpected token {token.text!r} while parsing a term",
+            line=token.line,
+            column=token.column,
+        )
+
+    def _parse_list(self) -> Term:
+        if self.at("]"):
+            self.next()
+            return EMPTY_LIST
+        items = [self.parse_term()]
+        while self.at(","):
+            self.next()
+            items.append(self.parse_term())
+        tail: Term = EMPTY_LIST
+        if self.at("|"):
+            self.next()
+            tail = self.parse_term()
+        self.expect("]")
+        return make_list(items, tail)
+
+    def parse_literal(self) -> Literal:
+        token = self.next()
+        if token.kind != "name":
+            raise ParseError(
+                f"expected a predicate name, found {token.text!r}",
+                line=token.line,
+                column=token.column,
+            )
+        args: List[Term] = []
+        if self.at("("):
+            self.next()
+            args.append(self.parse_term())
+            while self.at(","):
+                self.next()
+                args.append(self.parse_term())
+            self.expect(")")
+        return Literal(token.text, tuple(args))
+
+    def parse_clause(self):
+        """Parse one clause; returns ('query', Query) / ('rule', Rule)."""
+        if self.at("?-"):
+            self.next()
+            literal = self.parse_literal()
+            self.expect(".")
+            return ("query", Query(literal))
+        head = self.parse_literal()
+        if self.at("?"):
+            self.next()
+            if self.at("."):
+                self.next()
+            return ("query", Query(head))
+        body: List[Literal] = []
+        if self.at(":-"):
+            self.next()
+            body.append(self.parse_literal())
+            while self.at(","):
+                self.next()
+                body.append(self.parse_literal())
+        self.expect(".")
+        return ("rule", Rule(head, tuple(body)))
+
+
+class ParsedSource:
+    """Result of :func:`parse_program`: rules, ground facts, queries."""
+
+    __slots__ = ("program", "facts", "queries")
+
+    def __init__(self, program: Program, facts: Tuple[Literal, ...], queries: Tuple[Query, ...]):
+        self.program = program
+        self.facts = facts
+        self.queries = queries
+
+    def __iter__(self):
+        return iter((self.program, self.facts, self.queries))
+
+
+def parse_program(source: str) -> ParsedSource:
+    """Parse a full source text into rules, facts, and queries.
+
+    Clauses with an empty body whose head is ground are treated as facts
+    (Section 1.1: facts are part of the database); non-ground empty-body
+    clauses are kept as unit rules of the program (the paper's
+    list-reverse example relies on this).
+    """
+    parser = _Parser(source)
+    rules: List[Rule] = []
+    facts: List[Literal] = []
+    queries: List[Query] = []
+    while parser.peek() is not None:
+        kind, payload = parser.parse_clause()
+        if kind == "query":
+            queries.append(payload)
+            continue
+        rule = payload
+        if rule.is_fact() and rule.head.is_ground():
+            facts.append(rule.head)
+        else:
+            rules.append(rule)
+    program = Program(tuple(rules))
+    return ParsedSource(program, tuple(facts), tuple(queries))
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse a single rule, e.g. ``"anc(X,Y) :- par(X,Y)."``."""
+    parser = _Parser(source)
+    kind, payload = parser.parse_clause()
+    if kind != "rule":
+        raise ParseError("expected a rule, found a query")
+    if parser.peek() is not None:
+        token = parser.peek()
+        raise ParseError(
+            f"trailing input after rule: {token.text!r}",
+            line=token.line,
+            column=token.column,
+        )
+    return payload
+
+
+def parse_literal(source: str) -> Literal:
+    """Parse a single literal, e.g. ``"anc(john, Y)"``."""
+    parser = _Parser(source)
+    literal = parser.parse_literal()
+    if parser.peek() is not None:
+        token = parser.peek()
+        raise ParseError(
+            f"trailing input after literal: {token.text!r}",
+            line=token.line,
+            column=token.column,
+        )
+    return literal
+
+
+def parse_term(source: str) -> Term:
+    """Parse a single term, e.g. ``"[a, b | T]"``."""
+    parser = _Parser(source)
+    term = parser.parse_term()
+    if parser.peek() is not None:
+        token = parser.peek()
+        raise ParseError(
+            f"trailing input after term: {token.text!r}",
+            line=token.line,
+            column=token.column,
+        )
+    return term
+
+
+def parse_query(source: str) -> Query:
+    """Parse a query, e.g. ``"anc(john, Y)?"`` or ``"?- anc(john, Y)."``."""
+    parser = _Parser(source)
+    kind, payload = parser.parse_clause()
+    if kind != "query":
+        raise ParseError("expected a query")
+    return payload

@@ -1,0 +1,189 @@
+"""QSQ-style top-down evaluation of adorned programs.
+
+This is the reference *sip strategy* of Section 9: starting from the
+query, construct subqueries for every body literal according to the sips
+(condition 2) and compute all answers for every constructed query
+(condition 1).  The evaluator is an iterated, set-at-a-time version of
+the Query/Subquery method (QSQR, Vieille [24]), restricted to adorned
+programs whose rule bodies are already ordered by their sip's total order
+with all available bindings carried left to right (i.e. full compressed
+sips -- the adornment construction of ``repro.core.adornment`` produces
+exactly this form).
+
+Its two outputs are the paper's sets
+
+* ``Q`` -- the queries generated (per adorned predicate, the set of bound
+  argument vectors); and
+* ``F`` -- the facts computed (per adorned predicate, full tuples).
+
+Theorem 9.1 states that bottom-up evaluation of the generalized magic
+rewrite produces *exactly* the facts corresponding to ``Q`` (the magic
+relations) and ``F`` (the adorned relations); ``repro.core.optimality``
+checks this equivalence experimentally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .ast import Literal, Program, Query
+from .database import Database, FactTuple
+from .errors import EvaluationError, NonTerminationError
+from .terms import Term
+from .unify import Substitution, match_sequences, resolve, unify_sequences
+
+__all__ = ["QSQResult", "qsq_evaluate"]
+
+
+@dataclass
+class QSQResult:
+    """Queries and facts produced by a QSQ (sip strategy) evaluation.
+
+    ``queries`` maps adorned predicate keys to the set of bound-argument
+    vectors for which a subquery was generated (the paper's ``Q``);
+    ``answers`` maps adorned predicate keys to full answer tuples (the
+    paper's ``F`` restricted to derived predicates).
+    """
+
+    queries: Dict[str, Set[FactTuple]] = field(default_factory=dict)
+    answers: Dict[str, Set[FactTuple]] = field(default_factory=dict)
+    iterations: int = 0
+    subqueries_generated: int = 0
+
+    def query_count(self) -> int:
+        return sum(len(v) for v in self.queries.values())
+
+    def answer_count(self) -> int:
+        return sum(len(v) for v in self.answers.values())
+
+    def query_answers(self, query_literal: Literal) -> Set[FactTuple]:
+        """Answer bindings (free positions) for the original query."""
+        free_positions = [
+            i
+            for i, arg in enumerate(query_literal.args)
+            if not arg.is_ground()
+        ]
+        out: Set[FactTuple] = set()
+        for row in self.answers.get(query_literal.pred_key, ()):
+            if match_sequences(query_literal.args, row) is not None:
+                out.add(tuple(row[i] for i in free_positions))
+        return out
+
+
+def qsq_evaluate(
+    adorned_program: Program,
+    database: Database,
+    query_literal: Literal,
+    max_iterations: Optional[int] = None,
+    max_facts: Optional[int] = None,
+) -> QSQResult:
+    """Evaluate an adorned program top-down, memoizing queries and answers.
+
+    ``adorned_program`` must use adorned literals for derived predicates
+    (as produced by ``repro.core.adornment.adorn_program(...).program``)
+    with rule bodies in sip order.  ``query_literal`` is the adorned
+    query, whose ground arguments form the initial subquery.
+    """
+    derived = adorned_program.derived_predicates()
+    result = QSQResult()
+    query_key = query_literal.pred_key
+    if query_key not in derived:
+        raise EvaluationError(
+            f"query predicate {query_key} is not defined by the program"
+        )
+
+    seed = tuple(arg for arg in query_literal.args if arg.is_ground())
+    result.queries.setdefault(query_key, set()).add(seed)
+    result.subqueries_generated += 1
+
+    rules_by_head: Dict[str, List] = {}
+    for rule in adorned_program.rules:
+        rules_by_head.setdefault(rule.head.pred_key, []).append(rule)
+
+    changed = True
+    while changed:
+        changed = False
+        result.iterations += 1
+        if max_iterations is not None and result.iterations > max_iterations:
+            raise NonTerminationError(
+                f"QSQ evaluation exceeded {max_iterations} iterations",
+                iterations=result.iterations,
+                facts=result.answer_count(),
+            )
+        for pred_key, inputs in list(result.queries.items()):
+            for rule in rules_by_head.get(pred_key, ()):
+                for bound_vector in list(inputs):
+                    if _solve_rule(
+                        rule, bound_vector, database, derived, result
+                    ):
+                        changed = True
+        if max_facts is not None and result.answer_count() > max_facts:
+            raise NonTerminationError(
+                f"QSQ evaluation exceeded {max_facts} facts",
+                iterations=result.iterations,
+                facts=result.answer_count(),
+            )
+    return result
+
+
+def _solve_rule(
+    rule,
+    bound_vector: FactTuple,
+    database: Database,
+    derived: Set[str],
+    result: QSQResult,
+) -> bool:
+    """Push one input binding through one rule; True when anything new."""
+    head = rule.head
+    bound_args = head.bound_args()
+    subst = unify_sequences(bound_args, bound_vector)
+    if subst is None:
+        return False
+    changed = False
+    # relational set of partial substitutions, advanced literal by literal
+    frontier: List[Substitution] = [subst]
+    for literal in rule.body:
+        if not frontier:
+            break
+        next_frontier: List[Substitution] = []
+        if literal.pred_key in derived:
+            answers = result.answers.get(literal.pred_key, set())
+            inputs = result.queries.setdefault(literal.pred_key, set())
+            for binding in frontier:
+                resolved_bound = tuple(
+                    resolve(arg, binding) for arg in literal.bound_args()
+                )
+                if all(arg.is_ground() for arg in resolved_bound):
+                    if resolved_bound not in inputs:
+                        inputs.add(resolved_bound)
+                        result.subqueries_generated += 1
+                        changed = True
+                resolved_all = tuple(
+                    resolve(arg, binding) for arg in literal.args
+                )
+                for row in answers:
+                    extended = match_sequences(resolved_all, row, binding)
+                    if extended is not None:
+                        next_frontier.append(extended)
+        else:
+            relation = database.get(literal.pred_key)
+            rows = list(relation) if relation is not None else []
+            for binding in frontier:
+                resolved_all = tuple(
+                    resolve(arg, binding) for arg in literal.args
+                )
+                for row in rows:
+                    extended = match_sequences(resolved_all, row, binding)
+                    if extended is not None:
+                        next_frontier.append(extended)
+        frontier = next_frontier
+    if not frontier:
+        return changed
+    answer_set = result.answers.setdefault(head.pred_key, set())
+    for binding in frontier:
+        row = tuple(resolve(arg, binding) for arg in head.args)
+        if all(t.is_ground() for t in row) and row not in answer_set:
+            answer_set.add(row)
+            changed = True
+    return changed

@@ -1,0 +1,49 @@
+"""Synthetic workload generators for tests, examples, and benchmarks."""
+
+from .graphs import (
+    chain_database,
+    chain_edges,
+    cycle_database,
+    cycle_edges,
+    grid_edges,
+    load_edges,
+    random_dag_database,
+    random_dag_edges,
+    tree_database,
+    tree_edges,
+)
+from .lists import constant_list, integer_list
+from .programs import (
+    ANCESTOR,
+    LIST_REVERSE,
+    NESTED_SAMEGEN,
+    NONLINEAR_ANCESTOR,
+    NONLINEAR_SAMEGEN,
+    ancestor_program,
+    ancestor_query,
+    list_reverse_program,
+    nested_samegen_program,
+    nested_samegen_query,
+    nonlinear_ancestor_program,
+    nonlinear_samegen_program,
+    reverse_query,
+    samegen_query,
+    synthetic_chain_database,
+    synthetic_chain_program,
+)
+from .samegen import nested_samegen_database, samegen_database, samegen_edges
+
+__all__ = [
+    "chain_database", "chain_edges", "cycle_database", "cycle_edges",
+    "grid_edges", "load_edges", "random_dag_database", "random_dag_edges",
+    "tree_database", "tree_edges",
+    "constant_list", "integer_list",
+    "ANCESTOR", "LIST_REVERSE", "NESTED_SAMEGEN", "NONLINEAR_ANCESTOR",
+    "NONLINEAR_SAMEGEN",
+    "ancestor_program", "ancestor_query", "list_reverse_program",
+    "nested_samegen_program", "nested_samegen_query",
+    "nonlinear_ancestor_program", "nonlinear_samegen_program",
+    "reverse_query", "samegen_query",
+    "synthetic_chain_program", "synthetic_chain_database",
+    "nested_samegen_database", "samegen_database", "samegen_edges",
+]

@@ -1,0 +1,19 @@
+"""List workloads for the list-reverse example (function symbols)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..datalog.terms import Constant, Term, make_list
+
+__all__ = ["constant_list", "integer_list"]
+
+
+def constant_list(values: Sequence[object]) -> Term:
+    """A ground Prolog-style list term from Python values."""
+    return make_list([Constant(v) for v in values])
+
+
+def integer_list(length: int) -> Term:
+    """The list ``[0, 1, ..., length-1]`` as a ground term."""
+    return constant_list(list(range(length)))

@@ -1,0 +1,175 @@
+"""The paper's example programs (Appendix A.1), ready to import.
+
+Each entry gives the program source and a query maker, so tests and
+benchmarks reference the exact problems of the appendix:
+
+1. ancestor (linear);
+2. ancestor (nonlinear);
+3. nested same-generation;
+4. list reverse (function symbols).
+
+The nonlinear same-generation program of Example 1 (the paper's running
+example in the body text) is included as well.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..datalog.ast import Literal, Program, Query
+from ..datalog.parser import parse_program
+from ..datalog.terms import Constant, Term, Variable
+
+__all__ = [
+    "ANCESTOR",
+    "NONLINEAR_ANCESTOR",
+    "NESTED_SAMEGEN",
+    "NONLINEAR_SAMEGEN",
+    "LIST_REVERSE",
+    "ancestor_program",
+    "nonlinear_ancestor_program",
+    "nested_samegen_program",
+    "nonlinear_samegen_program",
+    "list_reverse_program",
+    "ancestor_query",
+    "samegen_query",
+    "nested_samegen_query",
+    "reverse_query",
+    "synthetic_chain_program",
+    "synthetic_chain_database",
+]
+
+ANCESTOR = """
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+"""
+
+NONLINEAR_ANCESTOR = """
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- anc(X, Z), anc(Z, Y).
+"""
+
+NESTED_SAMEGEN = """
+p(X, Y) :- b1(X, Y).
+p(X, Y) :- sg(X, Z1), p(Z1, Z2), b2(Z2, Y).
+sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, Z1), sg(Z1, Z2), down(Z2, Y).
+"""
+
+NONLINEAR_SAMEGEN = """
+sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, Z1), sg(Z1, Z2), flat(Z2, Z3), sg(Z3, Z4), down(Z4, Y).
+"""
+
+LIST_REVERSE = """
+append(V, [], [V]).
+append(V, [W | X], [W | Y]) :- append(V, X, Y).
+reverse([], []).
+reverse([V | X], Y) :- reverse(X, Z), append(V, Z, Y).
+"""
+
+
+def ancestor_program() -> Program:
+    return parse_program(ANCESTOR).program
+
+
+def nonlinear_ancestor_program() -> Program:
+    return parse_program(NONLINEAR_ANCESTOR).program
+
+
+def nested_samegen_program() -> Program:
+    return parse_program(NESTED_SAMEGEN).program
+
+
+def nonlinear_samegen_program() -> Program:
+    return parse_program(NONLINEAR_SAMEGEN).program
+
+
+def list_reverse_program() -> Program:
+    """The list-reverse program of Appendix A.1(4), unit rules included.
+
+    The two exit rules have empty bodies (the paper writes
+    ``append(V, [], V|[]) :-``); the parser files the ground one under
+    facts, so the program is assembled explicitly here.
+    """
+    from ..datalog.ast import Rule
+    from ..datalog.terms import EMPTY_LIST, Struct
+
+    v, w, x, y, z = (Variable(n) for n in "VWXYZ")
+    cons = lambda head, tail: Struct(".", (head, tail))
+    return Program(
+        (
+            # append(V, [], [V]).
+            Rule(Literal("append", (v, EMPTY_LIST, cons(v, EMPTY_LIST)))),
+            # append(V, [W|X], [W|Y]) :- append(V, X, Y).
+            Rule(
+                Literal("append", (v, cons(w, x), cons(w, y))),
+                (Literal("append", (v, x, y)),),
+            ),
+            # reverse([], []).
+            Rule(Literal("reverse", (EMPTY_LIST, EMPTY_LIST))),
+            # reverse([V|X], Y) :- reverse(X, Z), append(V, Z, Y).
+            Rule(
+                Literal("reverse", (cons(v, x), y)),
+                (
+                    Literal("reverse", (x, z)),
+                    Literal("append", (v, z, y)),
+                ),
+            ),
+        )
+    )
+
+
+def synthetic_chain_program(depth: int) -> Program:
+    """A layered recursive program with ``depth`` derived predicates.
+
+    ``p0`` calls ``p1`` calls ... calls ``p(depth-1)``, each layer also
+    recursing on itself through an edge relation::
+
+        p0(X, Y) :- e0(X, Y).
+        p0(X, Y) :- e0(X, Z), p1(Z, Y).
+        ...
+        p(d-1)(X, Y) :- e(d-1)(X, Y).
+        p(d-1)(X, Y) :- e(d-1)(X, Z), p(d-1)(Z, Y).
+
+    Used by the rewrite-time scaling benchmark: the adorned program and
+    every rewrite grow linearly with ``depth``.
+    """
+    from ..datalog.parser import parse_rule
+
+    rules = []
+    for i in range(depth):
+        callee = i + 1 if i + 1 < depth else i
+        rules.append(parse_rule(f"p{i}(X, Y) :- e{i}(X, Y)."))
+        rules.append(
+            parse_rule(f"p{i}(X, Y) :- e{i}(X, Z), p{callee}(Z, Y).")
+        )
+    return Program(tuple(rules))
+
+
+def synthetic_chain_database(depth: int, length: int):
+    """Edge relations for :func:`synthetic_chain_program`: each ``e_i``
+    is a chain of the given length over shared nodes."""
+    from ..datalog.database import Database
+
+    db = Database()
+    edges = [(f"n{j}", f"n{j + 1}") for j in range(length)]
+    for i in range(depth):
+        db.add_values(f"e{i}", edges)
+    return db
+
+
+def ancestor_query(person: str = "john") -> Query:
+    return Query(Literal("anc", (Constant(person), Variable("Y"))))
+
+
+def samegen_query(person: str) -> Query:
+    return Query(Literal("sg", (Constant(person), Variable("Y"))))
+
+
+def nested_samegen_query(person: str) -> Query:
+    return Query(Literal("p", (Constant(person), Variable("Y"))))
+
+
+def reverse_query(list_term: Term) -> Query:
+    return Query(Literal("reverse", (list_term, Variable("Y"))))

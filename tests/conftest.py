@@ -1,0 +1,56 @@
+"""Shared test helpers: canonical rule strings for appendix comparisons.
+
+The appendix-comparison tests check that our rewriters regenerate the
+paper's rule sets *structurally*: rules are compared after renaming
+variables to ``A, B, C, ...`` in first-occurrence order (head first),
+so tests are robust to the generator's variable names.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Iterable, List
+
+import pytest
+
+from repro import Program, Rule, Variable
+from repro.core.provenance import RewrittenProgram
+
+
+def canonical_rule(rule: Rule) -> str:
+    """The rule with variables renamed A, B, C, ... by first occurrence."""
+    names = list(string.ascii_uppercase) + [
+        f"V{i}" for i in range(100)
+    ]
+    mapping = {}
+    for var in rule.variables():
+        mapping[var] = Variable(names[len(mapping)])
+    return str(rule.substitute(mapping))
+
+
+def canonical_rules(program) -> List[str]:
+    """Sorted canonical strings of a Program or RewrittenProgram."""
+    if isinstance(program, RewrittenProgram):
+        rules = [rr.rule for rr in program.rules]
+    elif isinstance(program, Program):
+        rules = list(program.rules)
+    else:
+        rules = [ar.rule for ar in program.rules]  # AdornedProgram
+    return sorted(canonical_rule(rule) for rule in rules)
+
+
+def assert_rules_equal(actual, expected: Iterable[str]) -> None:
+    """Assert a rewrite's rules equal the expected canonical strings."""
+    got = canonical_rules(actual)
+    want = sorted(expected)
+    assert got == want, (
+        "rule sets differ\n--- got ---\n"
+        + "\n".join(got)
+        + "\n--- want ---\n"
+        + "\n".join(want)
+    )
+
+
+@pytest.fixture
+def canon():
+    return canonical_rule

@@ -1,0 +1,202 @@
+"""Adorned rule sets -- Section 3 and Appendix A.2 (experiment E1)."""
+
+import pytest
+
+from repro import (
+    AdornmentError,
+    Constant,
+    Literal,
+    Query,
+    Variable,
+    adorn_program,
+    build_chain_sip,
+    parse_program,
+    parse_query,
+)
+from repro.workloads import (
+    ancestor_program,
+    ancestor_query,
+    integer_list,
+    list_reverse_program,
+    nested_samegen_program,
+    nested_samegen_query,
+    nonlinear_ancestor_program,
+    nonlinear_samegen_program,
+    reverse_query,
+    samegen_query,
+)
+
+from conftest import assert_rules_equal
+
+
+class TestAppendixA2:
+    """The four adorned rule sets of Appendix A.2."""
+
+    def test_ancestor(self):
+        adorned = adorn_program(ancestor_program(), ancestor_query("john"))
+        assert_rules_equal(
+            adorned,
+            [
+                "anc^bf(A, B) :- par(A, B).",
+                "anc^bf(A, B) :- par(A, C), anc^bf(C, B).",
+            ],
+        )
+        assert adorned.query_literal.pred_key == "anc^bf"
+
+    def test_nonlinear_ancestor(self):
+        adorned = adorn_program(
+            nonlinear_ancestor_program(), ancestor_query("john")
+        )
+        assert_rules_equal(
+            adorned,
+            [
+                "anc^bf(A, B) :- par(A, B).",
+                "anc^bf(A, B) :- anc^bf(A, C), anc^bf(C, B).",
+            ],
+        )
+
+    def test_nested_samegen(self):
+        adorned = adorn_program(
+            nested_samegen_program(), nested_samegen_query("john")
+        )
+        assert_rules_equal(
+            adorned,
+            [
+                "p^bf(A, B) :- b1(A, B).",
+                "p^bf(A, B) :- sg^bf(A, C), p^bf(C, D), b2(D, B).",
+                "sg^bf(A, B) :- flat(A, B).",
+                "sg^bf(A, B) :- up(A, C), sg^bf(C, D), down(D, B).",
+            ],
+        )
+
+    def test_list_reverse(self):
+        adorned = adorn_program(
+            list_reverse_program(), reverse_query(integer_list(2))
+        )
+        assert_rules_equal(
+            adorned,
+            [
+                "append^bbf(A, [B | C], [B | D]) :- append^bbf(A, C, D).",
+                "append^bbf(A, [], [A]).",
+                "reverse^bf([A | B], C) :- reverse^bf(B, D), append^bbf(A, D, C).",
+                "reverse^bf([], []).",
+            ],
+        )
+
+    def test_nonlinear_samegen_example_3(self):
+        """Example 3 of the paper (the adorned nonlinear sg rules)."""
+        adorned = adorn_program(
+            nonlinear_samegen_program(), samegen_query("john")
+        )
+        assert_rules_equal(
+            adorned,
+            [
+                "sg^bf(A, B) :- flat(A, B).",
+                "sg^bf(A, B) :- up(A, C), sg^bf(C, D), flat(D, E), "
+                "sg^bf(E, F), down(F, B).",
+            ],
+        )
+
+    def test_partial_sip_gives_same_adornments(self):
+        """Example 3: the partial sip of Example 2 yields the same
+        adorned program (the difference surfaces only in later stages)."""
+        full = adorn_program(
+            nonlinear_samegen_program(), samegen_query("john")
+        )
+        partial = adorn_program(
+            nonlinear_samegen_program(),
+            samegen_query("john"),
+            sip_builder=build_chain_sip,
+        )
+        assert full.program == partial.program
+
+
+class TestConstruction:
+    def test_multiple_adornments_per_predicate(self):
+        program = parse_program(
+            """
+            r(X, Y) :- e(X, Y).
+            r(X, Y) :- e(X, Z), r(Z, Y).
+            q(X, Y) :- r(X, Z), r(Y, Z).
+            """
+        ).program
+        # q(a, b): first r called bf... and second r called bf via Z? The
+        # second r has Y bound and Z bound from the first: adornment bb.
+        query = parse_query("q(a, b)?")
+        adorned = adorn_program(program, query)
+        keys = adorned.adorned_predicates()
+        assert "q^bb" in keys
+        assert "r^bf" in keys
+        assert "r^bb" in keys
+
+    def test_all_free_query_full_sip(self):
+        adorned = adorn_program(
+            ancestor_program(),
+            Query(Literal("anc", (Variable("X"), Variable("Y")))),
+        )
+        assert adorned.query_literal.pred_key == "anc^ff"
+        # even with no query bindings, the full sip passes bindings from
+        # the base literal par into the recursive call (the Example 2
+        # pattern {flat} -> sg.2): anc^bf appears
+        keys = adorned.adorned_predicates()
+        assert keys == {"anc^ff", "anc^bf"}
+
+    def test_all_free_query_empty_sip(self):
+        from repro import build_empty_sip
+
+        adorned = adorn_program(
+            ancestor_program(),
+            Query(Literal("anc", (Variable("X"), Variable("Y")))),
+            sip_builder=build_empty_sip,
+        )
+        # with no information passing at all, everything stays all-free
+        assert adorned.adorned_predicates() == {"anc^ff"}
+
+    def test_bound_second_argument(self):
+        adorned = adorn_program(
+            ancestor_program(), parse_query("anc(X, john)?")
+        )
+        assert adorned.query_literal.pred_key == "anc^fb"
+        # with a full left-to-right sip the binding reaches the recursive
+        # occurrence through its second argument
+        assert "anc^fb" in adorned.adorned_predicates()
+
+    def test_unknown_query_predicate(self):
+        with pytest.raises(AdornmentError):
+            adorn_program(ancestor_program(), parse_query("nope(a, X)?"))
+
+    def test_termination_with_many_adornments(self):
+        # a 3-ary predicate exercised under several binding patterns
+        program = parse_program(
+            """
+            t(X, Y, Z) :- e3(X, Y, Z).
+            t(X, Y, Z) :- e3(X, Y, W), t(W, Z, Y).
+            """
+        ).program
+        adorned = adorn_program(program, parse_query("t(a, Y, Z)?"))
+        assert len(adorned.adorned_predicates()) >= 1
+
+    def test_max_body_length(self):
+        adorned = adorn_program(
+            nonlinear_samegen_program(), samegen_query("john")
+        )
+        assert adorned.max_body_length() == 5
+
+    def test_sip_remapped_to_reordered_body(self):
+        # with a query binding the SECOND argument and a greedy
+        # (binding-maximizing) order, the body is reordered canonically
+        from repro.core.sips import (
+            build_full_sip,
+            greedy_order,
+            sip_builder_with_order,
+        )
+
+        program = parse_program("p(X, Y) :- e(X, Z), f(Z, Y).").program
+        builder = sip_builder_with_order(build_full_sip, greedy_order)
+        adorned = adorn_program(
+            program, parse_query("p(X, b)?"), sip_builder=builder
+        )
+        rule = adorned.rules[0]
+        # f receives Y and is evaluated first
+        assert rule.body[0].pred == "f"
+        assert rule.sip.arcs_into(0)[0].has_head()

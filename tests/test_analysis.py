@@ -1,0 +1,86 @@
+"""Program analysis utilities (repro.datalog.analysis)."""
+
+from repro import parse_program
+from repro.datalog.analysis import (
+    dependency_graph,
+    depends_on,
+    is_recursive_predicate,
+    reachable_predicates,
+    recursive_blocks,
+    strongly_connected_components,
+)
+
+
+def program(source):
+    return parse_program(source).program
+
+
+MUTUAL = """
+even(X) :- zero(X).
+even(X) :- succ(Y, X), odd(Y).
+odd(X) :- succ(Y, X), even(X).
+"""
+
+
+class TestDependencyGraph:
+    def test_edges(self):
+        graph = dependency_graph(program(MUTUAL))
+        assert graph["even"] == {"zero", "succ", "odd"}
+        assert graph["odd"] == {"succ", "even"}
+
+    def test_base_predicates_have_no_entry(self):
+        graph = dependency_graph(program(MUTUAL))
+        assert "succ" not in graph
+
+
+class TestSCC:
+    def test_mutual_recursion_one_component(self):
+        graph = dependency_graph(program(MUTUAL))
+        components = strongly_connected_components(graph)
+        assert frozenset({"even", "odd"}) in components
+
+    def test_topological_order(self):
+        graph = {"a": {"b"}, "b": {"c"}, "c": set()}
+        components = strongly_connected_components(graph)
+        # callees come before callers
+        assert components.index(frozenset({"c"})) < components.index(
+            frozenset({"a"})
+        )
+
+    def test_self_loop(self):
+        graph = {"a": {"a"}}
+        assert frozenset({"a"}) in strongly_connected_components(graph)
+
+
+class TestBlocks:
+    def test_mutual_block(self):
+        blocks = recursive_blocks(program(MUTUAL))
+        assert frozenset({"even", "odd"}) in blocks
+
+    def test_non_recursive_not_a_block(self):
+        blocks = recursive_blocks(program("p(X) :- q(X)."))
+        assert blocks == []
+
+    def test_self_recursive_block(self):
+        blocks = recursive_blocks(
+            program("t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, Z), t(Z, Y).")
+        )
+        assert frozenset({"t"}) in blocks
+
+
+class TestQueries:
+    def test_is_recursive(self):
+        p = program(MUTUAL)
+        assert is_recursive_predicate(p, "even")
+        assert is_recursive_predicate(p, "odd")
+        assert not is_recursive_predicate(program("p(X) :- q(X)."), "p")
+
+    def test_reachable(self):
+        p = program("a(X) :- b(X).\nb(X) :- c(X).\nd(X) :- e(X).")
+        assert reachable_predicates(p, ["a"]) == {"a", "b", "c"}
+
+    def test_depends_on(self):
+        p = program("a(X) :- b(X).\nb(X) :- c(X).")
+        assert depends_on(p, "a", "b")
+        assert depends_on(p, "a", "c")
+        assert not depends_on(p, "a", "a")

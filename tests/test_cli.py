@@ -1,0 +1,166 @@
+"""CLI tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import main
+
+ANCESTOR = """
+% ancestor
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+par(john, mary).
+par(mary, sue).
+anc(john, Y)?
+"""
+
+REVERSE = """
+append(V, [], [V]).
+append(V, [W | X], [W | Y]) :- append(V, X, Y).
+reverse([V | X], Y) :- reverse(X, Z), append(V, Z, Y).
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "anc.dl"
+    path.write_text(ANCESTOR)
+    return str(path)
+
+
+class TestRewrite:
+    def test_magic(self, program_file, capsys):
+        assert main(["rewrite", program_file, "--method", "magic"]) == 0
+        out = capsys.readouterr().out
+        assert "magic_anc_bf(john)." in out
+        assert "anc^bf(X, Y) :- magic_anc_bf(X), par(X, Y)." in out
+
+    def test_counting_structural(self, program_file, capsys):
+        code = main(
+            [
+                "rewrite",
+                program_file,
+                "--method",
+                "counting",
+                "--mode",
+                "structural",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ix(IX, 2, 2)" in out
+
+    def test_semijoin_flag(self, program_file, capsys):
+        code = main(
+            ["rewrite", program_file, "--method", "counting", "--semijoin"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "% method: counting_semijoin" in out
+
+    def test_chain_sip(self, program_file, capsys):
+        assert main(["rewrite", program_file, "--sip", "chain"]) == 0
+
+    def test_semijoin_on_magic_is_an_error(self, program_file, capsys):
+        code = main(
+            ["rewrite", program_file, "--method", "magic", "--semijoin"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_answers(self, program_file, capsys):
+        assert main(["query", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "mary" in out and "sue" in out
+
+    def test_explicit_query_overrides_file(self, program_file, capsys):
+        assert main(
+            ["query", program_file, "--query", "anc(mary, Y)?"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sue" in out and "mary\n" not in out
+
+    def test_boolean_query(self, program_file, capsys):
+        assert main(
+            ["query", program_file, "--query", "anc(john, sue)?"]
+        ) == 0
+        assert capsys.readouterr().out.strip() == "yes"
+        assert main(
+            ["query", program_file, "--query", "anc(sue, john)?"]
+        ) == 0
+        assert capsys.readouterr().out.strip() == "no"
+
+    def test_stats_on_stderr(self, program_file, capsys):
+        assert main(["query", program_file, "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "facts=" in err
+
+    def test_extra_facts_file(self, tmp_path, capsys):
+        program = tmp_path / "p.dl"
+        program.write_text(
+            "anc(X, Y) :- par(X, Y).\n"
+            "anc(X, Y) :- par(X, Z), anc(Z, Y).\n"
+        )
+        facts = tmp_path / "f.dl"
+        facts.write_text("par(a, b).\npar(b, c).\n")
+        code = main(
+            [
+                "query",
+                str(program),
+                "--facts",
+                str(facts),
+                "--query",
+                "anc(a, Y)?",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "b" in out and "c" in out
+
+    def test_facts_file_with_rules_rejected(self, tmp_path, capsys):
+        program = tmp_path / "p.dl"
+        program.write_text("anc(X, Y) :- par(X, Y).\nanc(a, Y)?\n")
+        facts = tmp_path / "f.dl"
+        facts.write_text("bad(X) :- par(X, X).\n")
+        code = main(["query", str(program), "--facts", str(facts)])
+        assert code == 1
+
+
+class TestAdornAndSafety:
+    def test_adorn(self, program_file, capsys):
+        assert main(["adorn", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "anc^bf" in out
+
+    def test_safety_datalog(self, program_file, capsys):
+        assert main(["safety", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "SAFE" in out
+        assert "Theorem 10.2" in out
+
+    def test_safety_reverse(self, tmp_path, capsys):
+        path = tmp_path / "rev.dl"
+        path.write_text(REVERSE + 'reverse([a, b], Y)?\n')
+        assert main(["safety", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("SAFE") == 2
+        assert "Theorem 10.1" in out
+
+
+class TestExplain:
+    def test_derivation_tree_printed(self, program_file, capsys):
+        assert main(["explain", program_file, "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "[by anc(X, Y)" in out
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["query", "/nonexistent.dl"]) == 1
+
+    def test_no_query(self, tmp_path, capsys):
+        path = tmp_path / "p.dl"
+        path.write_text("anc(X, Y) :- par(X, Y).\n")
+        assert main(["query", str(path)]) == 1
+        assert "no query" in capsys.readouterr().err

@@ -1,0 +1,107 @@
+"""Unit tests for relations and databases (repro.datalog.database)."""
+
+import pytest
+
+from repro import Constant, Database, Literal, Relation, Variable
+
+
+def c(value):
+    return Constant(value)
+
+
+class TestRelation:
+    def test_add_and_contains(self):
+        rel = Relation("par")
+        assert rel.add((c("a"), c("b")))
+        assert not rel.add((c("a"), c("b")))  # duplicate
+        assert (c("a"), c("b")) in rel
+        assert len(rel) == 1
+
+    def test_arity_fixed_by_first_tuple(self):
+        rel = Relation("par")
+        rel.add((c("a"), c("b")))
+        with pytest.raises(ValueError):
+            rel.add((c("a"),))
+
+    def test_rejects_non_ground(self):
+        rel = Relation("par")
+        with pytest.raises(ValueError):
+            rel.add((Variable("X"), c("b")))
+
+    def test_lookup_with_index(self):
+        rel = Relation("par")
+        rel.add_many([(c("a"), c("b")), (c("a"), c("x")), (c("b"), c("y"))])
+        rows = rel.lookup((0,), (c("a"),))
+        assert sorted(str(r[1]) for r in rows) == ["b", "x"]
+
+    def test_lookup_maintained_after_insert(self):
+        rel = Relation("par")
+        rel.add((c("a"), c("b")))
+        assert len(rel.lookup((0,), (c("a"),))) == 1
+        rel.add((c("a"), c("z")))  # index must be updated
+        assert len(rel.lookup((0,), (c("a"),))) == 2
+
+    def test_lookup_all_positions(self):
+        rel = Relation("par")
+        rel.add((c("a"), c("b")))
+        assert rel.lookup((0, 1), (c("a"), c("b"))) == [(c("a"), c("b"))]
+        assert rel.lookup((0, 1), (c("a"), c("z"))) == []
+
+    def test_lookup_no_positions_returns_all(self):
+        rel = Relation("par")
+        rel.add_many([(c("a"),), (c("b"),)])
+        assert len(rel.lookup((), ())) == 2
+
+    def test_copy_is_independent(self):
+        rel = Relation("par")
+        rel.add((c("a"), c("b")))
+        dup = rel.copy()
+        dup.add((c("x"), c("y")))
+        assert len(rel) == 1 and len(dup) == 2
+
+
+class TestDatabase:
+    def test_add_fact(self):
+        db = Database()
+        assert db.add_fact(Literal("par", (c("a"), c("b"))))
+        assert db.has_fact(Literal("par", (c("a"), c("b"))))
+        assert not db.has_fact(Literal("par", (c("x"), c("y"))))
+
+    def test_add_fact_rejects_non_ground(self):
+        db = Database()
+        with pytest.raises(ValueError):
+            db.add_fact(Literal("par", (Variable("X"), c("b"))))
+
+    def test_add_values(self):
+        db = Database()
+        db.add_values("par", [("a", "b"), ("b", "c")])
+        assert db.tuples("par") == {(c("a"), c("b")), (c("b"), c("c"))}
+
+    def test_adorned_keys_are_distinct(self):
+        db = Database()
+        db.add_fact(Literal("sg", (c("a"), c("b")), "bf"))
+        assert db.tuples("sg^bf") == {(c("a"), c("b"))}
+        assert db.tuples("sg") == set()
+
+    def test_counts(self):
+        db = Database()
+        db.add_values("par", [("a", "b")])
+        db.add_values("up", [("a", "b"), ("b", "c")])
+        assert db.total_facts() == 3
+        assert db.fact_counts() == {"par": 1, "up": 2}
+
+    def test_copy_independent(self):
+        db = Database()
+        db.add_values("par", [("a", "b")])
+        dup = db.copy()
+        dup.add_values("par", [("x", "y")])
+        assert db.total_facts() == 1 and dup.total_facts() == 2
+
+    def test_merged_with(self):
+        db1 = Database()
+        db1.add_values("par", [("a", "b")])
+        db2 = Database()
+        db2.add_values("par", [("b", "c")])
+        merged = db1.merged_with(db2)
+        assert merged.total_facts() == 2
+        assert db1.total_facts() == 1

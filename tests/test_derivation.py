@@ -1,0 +1,151 @@
+"""Derivation-tree reconstruction (repro.datalog.derivation).
+
+Section 1.1: every derived fact has a finite derivation tree with the
+fact at the root and base facts at the leaves.
+"""
+
+import pytest
+
+from repro import Constant, EvaluationError, Literal, parse_program
+from repro.datalog.database import Database
+from repro.datalog.derivation import DerivationNode, explain, fact_stages
+from repro.datalog.engine import evaluate
+from repro.workloads import ancestor_program, chain_database
+
+
+def c(value):
+    return Constant(value)
+
+
+@pytest.fixture
+def chain_setup():
+    program = ancestor_program()
+    db = chain_database(5)
+    result = evaluate(program, db)
+    return program, db, result
+
+
+class TestStages:
+    def test_base_facts_not_staged(self, chain_setup):
+        program, db, result = chain_setup
+        stages = fact_stages(program, db, result)
+        assert "par" not in stages or not stages.get("par")
+
+    def test_stages_are_simultaneous(self, chain_setup):
+        """anc pairs at distance d appear at stage d."""
+        program, db, result = chain_setup
+        stages = fact_stages(program, db, result)
+        for (src, dst), stage in (
+            ((0, 1), 1),
+            ((0, 2), 2),
+            ((0, 5), 5),
+            ((3, 5), 2),
+        ):
+            row = (c(f"n{src}"), c(f"n{dst}"))
+            assert stages["anc"][row] == stage
+
+    def test_seeded_facts_stage_zero(self):
+        from repro import rewrite
+        from repro.workloads import ancestor_query
+
+        program = ancestor_program()
+        query = ancestor_query("n0")
+        rewritten = rewrite(program, query, method="magic")
+        db = chain_database(4)
+        seeded = rewritten.seeded_database(db)
+        result = evaluate(rewritten.program, seeded)
+        stages = fact_stages(rewritten.program, seeded, result)
+        seed_row = (c("n0"),)
+        assert stages["magic_anc_bf"][seed_row] == 0
+
+
+class TestExplain:
+    def test_direct_fact(self, chain_setup):
+        program, db, result = chain_setup
+        tree = explain(
+            program, db, result, Literal("anc", (c("n0"), c("n1")))
+        )
+        assert tree.rule is not None
+        assert tree.height() == 2
+        assert [str(leaf) for leaf in tree.leaves()] == ["par(n0, n1)"]
+
+    def test_deep_fact_has_chain_of_rules(self, chain_setup):
+        program, db, result = chain_setup
+        tree = explain(
+            program, db, result, Literal("anc", (c("n0"), c("n5")))
+        )
+        # the linear rule gives a left-deep tree of height 6 (5 anc
+        # nodes + the base fact)
+        assert tree.height() == 6
+        leaves = [str(leaf) for leaf in tree.leaves()]
+        assert leaves == [f"par(n{i}, n{i + 1})" for i in range(5)]
+
+    def test_size_counts_nodes(self, chain_setup):
+        program, db, result = chain_setup
+        tree = explain(
+            program, db, result, Literal("anc", (c("n0"), c("n2")))
+        )
+        assert tree.size() == tree.render().count("\n") + 1
+
+    def test_underivable_fact_rejected(self, chain_setup):
+        program, db, result = chain_setup
+        with pytest.raises(EvaluationError):
+            explain(program, db, result, Literal("anc", (c("n5"), c("n0"))))
+
+    def test_non_ground_rejected(self, chain_setup):
+        from repro import Variable
+
+        program, db, result = chain_setup
+        with pytest.raises(EvaluationError):
+            explain(
+                program, db, result, Literal("anc", (c("n0"), Variable("Y")))
+            )
+
+    def test_base_fact_is_leaf(self, chain_setup):
+        program, db, result = chain_setup
+        tree = explain(
+            program, db, result, Literal("par", (c("n0"), c("n1")))
+        )
+        assert tree.is_leaf()
+
+    def test_nonlinear_rules(self):
+        program = parse_program(
+            """
+            anc(X, Y) :- par(X, Y).
+            anc(X, Y) :- anc(X, Z), anc(Z, Y).
+            """
+        ).program
+        db = chain_database(4)
+        result = evaluate(program, db)
+        tree = explain(
+            program, db, result, Literal("anc", (c("n0"), c("n4")))
+        )
+        assert tree.rule is not None
+        leaves = {str(leaf) for leaf in tree.leaves()}
+        assert leaves <= {f"par(n{i}, n{i + 1})" for i in range(4)}
+
+    def test_explains_rewritten_program_facts(self):
+        """Derivations work on magic-rewritten programs too (seeds are
+        leaves)."""
+        from repro import rewrite
+        from repro.workloads import ancestor_query
+
+        program = ancestor_program()
+        query = ancestor_query("n0")
+        rewritten = rewrite(program, query, method="magic")
+        db = chain_database(4)
+        seeded = rewritten.seeded_database(db)
+        result = evaluate(rewritten.program, seeded)
+        magic_fact = Literal("magic_anc_bf", (c("n2"),))
+        tree = explain(rewritten.program, seeded, result, magic_fact)
+        leaves = [str(leaf) for leaf in tree.leaves()]
+        # the magic set's derivation bottoms out at the seed
+        assert "magic_anc_bf(n0)" in leaves
+
+    def test_render_contains_rules(self, chain_setup):
+        program, db, result = chain_setup
+        tree = explain(
+            program, db, result, Literal("anc", (c("n0"), c("n2")))
+        )
+        text = tree.render()
+        assert "[by anc(X, Y) :- par(X, Z), anc(Z, Y).]" in text

@@ -1,0 +1,152 @@
+"""Property-based equivalence tests (hypothesis).
+
+The paper's central correctness results -- Theorems 3.1/4.1/5.1/6.1/7.1:
+each transformation preserves the query's answers on *every* database.
+We approximate "every database" with randomized graphs and queries, and
+check every method against the naive bottom-up baseline.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import answer_query, bottom_up_answer
+from repro.datalog.database import Database
+from repro.workloads import (
+    ancestor_program,
+    ancestor_query,
+    nonlinear_ancestor_program,
+    nonlinear_samegen_program,
+    samegen_query,
+)
+
+# small node universe so that random graphs are dense enough to recurse
+NODES = [f"v{i}" for i in range(8)]
+
+edges_strategy = st.lists(
+    st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)),
+    min_size=0,
+    max_size=24,
+)
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def edge_db(edges, relation="par"):
+    db = Database()
+    db.add_values(relation, set(edges))
+    return db
+
+
+class TestAncestorEquivalence:
+    @given(edges=edges_strategy, root=st.sampled_from(NODES))
+    @SETTINGS
+    def test_all_methods_agree_with_naive(self, edges, root):
+        program = ancestor_program()
+        query = ancestor_query(root)
+        db = edge_db(edges)
+        baseline = bottom_up_answer(program, db, query)
+        for method in ("magic", "supplementary_magic", "qsq"):
+            answer = answer_query(program, db, query, method=method)
+            assert answer.answers == baseline.answers, method
+
+    @given(edges=edges_strategy, root=st.sampled_from(NODES))
+    @SETTINGS
+    def test_nonlinear_ancestor(self, edges, root):
+        program = nonlinear_ancestor_program()
+        query = ancestor_query(root)
+        db = edge_db(edges)
+        baseline = bottom_up_answer(program, db, query)
+        for method in ("magic", "supplementary_magic"):
+            answer = answer_query(program, db, query, method=method)
+            assert answer.answers == baseline.answers, method
+
+    @given(edges=edges_strategy, root=st.sampled_from(NODES))
+    @SETTINGS
+    def test_counting_on_acyclic_data(self, edges, root):
+        """Counting is only safe on acyclic data: orient the random
+        edges by node index so cycles cannot arise, then it must agree."""
+        acyclic = {(a, b) for a, b in edges if a < b}
+        program = ancestor_program()
+        query = ancestor_query(root)
+        db = edge_db(acyclic)
+        baseline = bottom_up_answer(program, db, query)
+        for method in ("counting", "supplementary_counting"):
+            answer = answer_query(
+                program, db, query, method=method, max_iterations=200
+            )
+            assert answer.answers == baseline.answers, method
+
+
+class TestSameGenerationEquivalence:
+    three_relations = st.tuples(
+        st.lists(
+            st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)),
+            max_size=12,
+        ),
+        st.lists(
+            st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)),
+            max_size=12,
+        ),
+        st.lists(
+            st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)),
+            max_size=12,
+        ),
+    )
+
+    @given(data=three_relations, root=st.sampled_from(NODES))
+    @SETTINGS
+    def test_magic_methods_agree(self, data, root):
+        up, flat, down = data
+        db = Database()
+        db.add_values("up", set(up))
+        db.add_values("flat", set(flat))
+        db.add_values("down", set(down))
+        program = nonlinear_samegen_program()
+        query = samegen_query(root)
+        baseline = bottom_up_answer(program, db, query)
+        for method in ("magic", "supplementary_magic"):
+            answer = answer_query(
+                program, db, query, method=method, max_iterations=400
+            )
+            assert answer.answers == baseline.answers, method
+
+
+class TestEngineAgreementProperty:
+    @given(edges=edges_strategy)
+    @SETTINGS
+    def test_naive_equals_seminaive(self, edges):
+        from repro import evaluate_naive, evaluate_seminaive
+
+        program = ancestor_program()
+        db = edge_db(edges)
+        naive = evaluate_naive(program, db)
+        semi = evaluate_seminaive(program, db)
+        assert naive.derived_tuples("anc") == semi.derived_tuples("anc")
+
+    @given(edges=edges_strategy, root=st.sampled_from(NODES))
+    @SETTINGS
+    def test_semijoin_preserves_answers_on_acyclic_data(self, edges, root):
+        from repro import evaluate, rewrite, semijoin_optimize
+
+        acyclic = {(a, b) for a, b in edges if a < b}
+        program = ancestor_program()
+        query = ancestor_query(root)
+        db = edge_db(acyclic)
+        plain = rewrite(program, query, method="counting")
+        optimized = semijoin_optimize(plain)
+        plain_res = evaluate(
+            plain.program, plain.seeded_database(db), max_iterations=200
+        )
+        opt_res = evaluate(
+            optimized.program,
+            optimized.seeded_database(db),
+            max_iterations=200,
+        )
+        assert plain.extract_answers(plain_res) == optimized.extract_answers(
+            opt_res
+        )

@@ -1,0 +1,115 @@
+"""Sip-optimality -- Section 9 (experiments E7 and E8)."""
+
+import pytest
+
+from repro import (
+    build_chain_sip,
+    check_optimality,
+    compare_sips,
+    evaluate,
+    rewrite,
+)
+from repro.core.optimality import OptimalityReport
+from repro.workloads import (
+    ancestor_program,
+    ancestor_query,
+    chain_database,
+    nested_samegen_database,
+    nested_samegen_program,
+    nested_samegen_query,
+    nonlinear_samegen_program,
+    random_dag_database,
+    samegen_database,
+    samegen_query,
+    tree_database,
+)
+
+
+class TestTheorem91:
+    """Bottom-up on P^mg is sip-optimal: magic facts = the sip strategy's
+    queries Q, adorned facts = its answers F."""
+
+    @pytest.mark.parametrize(
+        "db_maker,root",
+        [
+            (lambda: chain_database(10), "n0"),
+            (lambda: tree_database(4), "r"),
+            (lambda: random_dag_database(25, 0.15, seed=3), "n0"),
+        ],
+    )
+    def test_ancestor(self, db_maker, root):
+        rewritten = rewrite(
+            ancestor_program(), ancestor_query(root), method="magic"
+        )
+        report = check_optimality(rewritten, db_maker())
+        assert report.sip_optimal, report.mismatches
+
+    def test_nonlinear_samegen(self):
+        rewritten = rewrite(
+            nonlinear_samegen_program(), samegen_query("L0_0"), method="magic"
+        )
+        db = samegen_database(3, 4, flat_edges=6)
+        report = check_optimality(rewritten, db, max_iterations=500)
+        assert report.sip_optimal, report.mismatches
+
+    def test_nested_samegen(self):
+        rewritten = rewrite(
+            nested_samegen_program(),
+            nested_samegen_query("L0_0"),
+            method="magic",
+        )
+        db = nested_samegen_database(3, 4)
+        report = check_optimality(rewritten, db, max_iterations=500)
+        assert report.sip_optimal, report.mismatches
+
+    def test_report_counts(self):
+        rewritten = rewrite(
+            ancestor_program(), ancestor_query("n0"), method="magic"
+        )
+        report = check_optimality(rewritten, chain_database(6))
+        # queries: one magic fact per reachable node (n0..n6)
+        assert report.total_magic_facts() == 7
+        # answers: all (x, y) ancestor pairs with x reachable
+        assert report.total_adorned_facts() == 6 + 5 + 4 + 3 + 2 + 1
+
+    def test_supplementary_magic_also_optimal_in_facts(self):
+        """GSMS computes the same magic/adorned fact sets (it only adds
+        supplementary predicates)."""
+        db = chain_database(8)
+        gms = rewrite(ancestor_program(), ancestor_query("n0"), method="magic")
+        gsms = rewrite(
+            ancestor_program(),
+            ancestor_query("n0"),
+            method="supplementary_magic",
+        )
+        gms_res = evaluate(gms.program, gms.seeded_database(db))
+        gsms_res = evaluate(gsms.program, gsms.seeded_database(db))
+        for key in ("anc^bf", "magic_anc_bf"):
+            assert gms_res.database.tuples(key) == gsms_res.database.tuples(
+                key
+            )
+
+
+class TestLemma93:
+    """Fuller sips compute a subset of the partial sip's facts."""
+
+    def test_full_contained_in_partial_nonlinear_samegen(self):
+        program = nonlinear_samegen_program()
+        query = samegen_query("L0_0")
+        full = rewrite(program, query, method="magic")
+        partial = rewrite(
+            program, query, method="magic", sip_builder=build_chain_sip
+        )
+        db = samegen_database(3, 5, flat_edges=8, seed=2)
+        comparison = compare_sips(full, partial, db, max_iterations=500)
+        assert comparison.contained
+        assert comparison.fuller_facts <= comparison.partial_facts
+
+    def test_identical_sips_compare_equal(self):
+        program = ancestor_program()
+        query = ancestor_query("n0")
+        full = rewrite(program, query, method="magic")
+        again = rewrite(program, query, method="magic")
+        comparison = compare_sips(full, again, chain_database(6))
+        assert comparison.contained
+        assert comparison.fuller_facts == comparison.partial_facts

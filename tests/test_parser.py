@@ -1,0 +1,137 @@
+"""Unit tests for the surface-syntax parser (repro.datalog.parser)."""
+
+import pytest
+
+from repro import (
+    Constant,
+    ParseError,
+    Struct,
+    Variable,
+    parse_literal,
+    parse_program,
+    parse_query,
+    parse_rule,
+    parse_term,
+)
+from repro.datalog.terms import EMPTY_LIST
+
+
+class TestTerms:
+    def test_variable(self):
+        assert parse_term("X") == Variable("X")
+        assert parse_term("_foo") == Variable("_foo")
+
+    def test_constant(self):
+        assert parse_term("john") == Constant("john")
+        assert parse_term("42") == Constant(42)
+        assert parse_term("-7") == Constant(-7)
+        assert parse_term('"hello world"') == Constant("hello world")
+
+    def test_struct(self):
+        assert parse_term("f(a, X)") == Struct(
+            "f", (Constant("a"), Variable("X"))
+        )
+
+    def test_nested_struct(self):
+        assert parse_term("f(g(1), h(X, 2))") == Struct(
+            "f",
+            (
+                Struct("g", (Constant(1),)),
+                Struct("h", (Variable("X"), Constant(2))),
+            ),
+        )
+
+    def test_lists(self):
+        assert parse_term("[]") == EMPTY_LIST
+        one_two = parse_term("[1, 2]")
+        assert one_two == Struct(
+            ".", (Constant(1), Struct(".", (Constant(2), EMPTY_LIST)))
+        )
+        assert parse_term("[1 | T]") == Struct(
+            ".", (Constant(1), Variable("T"))
+        )
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_term("f(a) extra")
+
+
+class TestLiterals:
+    def test_with_args(self):
+        lit = parse_literal("anc(john, Y)")
+        assert lit.pred == "anc"
+        assert lit.args == (Constant("john"), Variable("Y"))
+
+    def test_propositional(self):
+        assert parse_literal("halt").args == ()
+
+    def test_predicate_must_be_lowercase(self):
+        with pytest.raises(ParseError):
+            parse_literal("Anc(john, Y)")
+
+
+class TestRules:
+    def test_simple(self):
+        rule = parse_rule("anc(X, Y) :- par(X, Y).")
+        assert rule.head.pred == "anc"
+        assert len(rule.body) == 1
+
+    def test_multi_literal(self):
+        rule = parse_rule("anc(X, Y) :- par(X, Z), anc(Z, Y).")
+        assert [l.pred for l in rule.body] == ["par", "anc"]
+
+    def test_missing_period(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(X) :- q(X)")
+
+
+class TestQueries:
+    def test_question_mark_style(self):
+        query = parse_query("anc(john, Y)?")
+        assert query.pred == "anc"
+        assert query.adornment == "bf"
+
+    def test_prolog_style(self):
+        query = parse_query("?- anc(john, Y).")
+        assert query.adornment == "bf"
+
+
+class TestPrograms:
+    SOURCE = """
+    % the ancestor program
+    anc(X, Y) :- par(X, Y).
+    anc(X, Y) :- par(X, Z), anc(Z, Y).
+    par(john, mary).
+    par(mary, sue).
+    anc(john, Y)?
+    """
+
+    def test_parse_program_splits_rules_facts_queries(self):
+        program, facts, queries = parse_program(self.SOURCE)
+        assert len(program) == 2
+        assert len(facts) == 2
+        assert len(queries) == 1
+        assert facts[0].pred == "par"
+
+    def test_comments_ignored(self):
+        program, _, _ = parse_program("% nothing\np(X) :- q(X).")
+        assert len(program) == 1
+
+    def test_non_ground_unit_clause_is_a_rule(self):
+        program, facts, _ = parse_program("append(V, [], [V]).")
+        assert len(program) == 1
+        assert not facts
+
+    def test_ground_unit_clause_is_a_fact(self):
+        program, facts, _ = parse_program("par(a, b).")
+        assert len(program) == 0
+        assert len(facts) == 1
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("p(X) :- q(X).\np(Y) :- & .")
+        assert "line 2" in str(excinfo.value)
+
+    def test_empty_source(self):
+        program, facts, queries = parse_program("")
+        assert len(program) == 0 and not facts and not queries

@@ -1,0 +1,193 @@
+"""Safety analyses -- Section 10 (experiment E9)."""
+
+import pytest
+
+from repro import (
+    Constant,
+    Struct,
+    Variable,
+    adorn_program,
+    counting_safety,
+    magic_safety,
+    parse_program,
+    parse_query,
+    parse_term,
+)
+from repro.core.safety import (
+    LengthPolynomial,
+    all_cycles_positive,
+    argument_graph,
+    argument_graph_cyclic,
+    binding_graph,
+    term_length_polynomial,
+)
+from repro.workloads import (
+    ancestor_program,
+    ancestor_query,
+    integer_list,
+    list_reverse_program,
+    nested_samegen_program,
+    nested_samegen_query,
+    nonlinear_ancestor_program,
+    reverse_query,
+)
+
+
+class TestLengthPolynomials:
+    def test_constant_length(self):
+        assert term_length_polynomial(Constant(1)) == LengthPolynomial(1)
+
+    def test_variable_length(self):
+        poly = term_length_polynomial(Variable("X"))
+        assert poly.const == 0
+        assert poly.coeff_map() == {"X": 1}
+
+    def test_struct_length(self):
+        # |X.X| = 2|X| + 1 (the paper's example)
+        term = parse_term("[X | X]")
+        poly = term_length_polynomial(term)
+        assert poly.const == 1
+        assert poly.coeff_map() == {"X": 2}
+
+    def test_lower_bound_default(self):
+        # |X.X| >= 3 with |X| >= 1
+        poly = term_length_polynomial(parse_term("[X | X]"))
+        assert poly.lower_bound() == 3
+
+    def test_lower_bound_with_supplied_bounds(self):
+        poly = term_length_polynomial(parse_term("[X | X]"))
+        assert poly.lower_bound({"X": (5, 5)}) == 11
+
+    def test_lower_bound_negative_coefficient(self):
+        head = term_length_polynomial(Variable("X"))
+        body = term_length_polynomial(parse_term("[X | X]"))
+        diff = head - body  # -|X| - 1: unbounded below
+        assert diff.lower_bound() is None
+        assert diff.lower_bound({"X": (1, 10)}) == -11
+
+    def test_arithmetic(self):
+        a = LengthPolynomial(1, (("X", 2),))
+        b = LengthPolynomial(2, (("X", 1), ("Y", 1)))
+        total = a + b
+        assert total.const == 3
+        assert total.coeff_map() == {"X": 3, "Y": 1}
+        diff = a - b
+        assert diff.coeff_map() == {"X": 1, "Y": -1}
+
+
+class TestBindingGraph:
+    def test_reverse_arcs_are_positive(self):
+        """Theorem 10.1 certifies list reverse: the bound argument loses
+        one cons cell per recursive call."""
+        adorned = adorn_program(
+            list_reverse_program(), reverse_query(integer_list(2))
+        )
+        graph = binding_graph(adorned)
+        assert all_cycles_positive(graph) is True
+
+    def test_datalog_cycles_are_zero(self):
+        adorned = adorn_program(ancestor_program(), ancestor_query("a"))
+        graph = binding_graph(adorned)
+        # for a Datalog program every binding is a constant (|X| = 1);
+        # the anc^bf -> anc^bf cycle then has length exactly 0
+        bounds = {"X": (1, 1), "Y": (1, 1), "Z": (1, 1)}
+        assert all_cycles_positive(graph, bounds) is False
+        # without length bounds, |Z| is unbounded above: no verdict
+        assert all_cycles_positive(graph) is None
+
+    def test_growing_argument_no_certificate(self):
+        program = parse_program(
+            """
+            s(X) :- seed(X).
+            s([a | X]) :- s(X).
+            """
+        ).program
+        adorned = adorn_program(program, parse_query("s(X)?"))
+        # all-free query: nothing shrinks (bound arguments are empty on
+        # both ends, cycle length 0) -- no certificate, and indeed the
+        # program diverges bottom-up
+        assert all_cycles_positive(binding_graph(adorned)) is False
+
+    def test_shrinking_argument_certified(self):
+        program = parse_program(
+            """
+            len(X) :- is_nil(X).
+            len([H | T]) :- len(T).
+            """
+        ).program
+        adorned = adorn_program(
+            program, parse_query("len([a, b])?")
+        )
+        assert all_cycles_positive(binding_graph(adorned)) is True
+
+
+class TestMagicSafety:
+    def test_datalog_always_safe(self):
+        adorned = adorn_program(ancestor_program(), ancestor_query("a"))
+        report = magic_safety(adorned)
+        assert report.safe is True
+        assert report.theorem == "10.2"
+
+    def test_reverse_certified_by_positive_cycles(self):
+        adorned = adorn_program(
+            list_reverse_program(), reverse_query(integer_list(2))
+        )
+        report = magic_safety(adorned)
+        assert report.safe is True
+        assert report.theorem == "10.1"
+
+    def test_growing_program_not_certified(self):
+        program = parse_program(
+            """
+            s(X, Y) :- base(X, Y).
+            s(X, [a | Y]) :- s(X, Y), grow(X).
+            """
+        ).program
+        adorned = adorn_program(program, parse_query("s(q, Y)?"))
+        report = magic_safety(adorned)
+        # bound argument X never shrinks: cycle length 0, no certificate
+        assert report.safe is None
+
+
+class TestArgumentGraph:
+    def test_nonlinear_ancestor_cyclic(self):
+        """Theorem 10.3's canonical example: anc^bf(1) -> anc^bf(1)."""
+        adorned = adorn_program(
+            nonlinear_ancestor_program(), ancestor_query("a")
+        )
+        assert argument_graph_cyclic(adorned) is True
+        graph = argument_graph(adorned)
+        assert ("anc^bf", 0) in graph.get(("anc^bf", 0), set())
+
+    def test_linear_ancestor_acyclic(self):
+        adorned = adorn_program(ancestor_program(), ancestor_query("a"))
+        assert argument_graph_cyclic(adorned) is False
+
+    def test_nested_samegen_acyclic(self):
+        adorned = adorn_program(
+            nested_samegen_program(), nested_samegen_query("a")
+        )
+        assert argument_graph_cyclic(adorned) is False
+
+
+class TestCountingSafety:
+    def test_nonlinear_ancestor_certified_diverging(self):
+        adorned = adorn_program(
+            nonlinear_ancestor_program(), ancestor_query("a")
+        )
+        report = counting_safety(adorned)
+        assert report.safe is False
+        assert report.theorem == "10.3"
+
+    def test_linear_ancestor_data_dependent(self):
+        adorned = adorn_program(ancestor_program(), ancestor_query("a"))
+        assert counting_safety(adorned).safe is None
+        assert counting_safety(adorned, assume_acyclic_data=True).safe is True
+
+    def test_reverse_certified_safe(self):
+        adorned = adorn_program(
+            list_reverse_program(), reverse_query(integer_list(2))
+        )
+        report = counting_safety(adorned)
+        assert report.safe is True
+        assert report.theorem == "10.1"

@@ -1,0 +1,197 @@
+"""Unit tests for sip graphs and builders (repro.core.sips) -- Section 2."""
+
+import pytest
+
+from repro import SipValidationError, Variable, parse_rule
+from repro.core.sips import (
+    HEAD,
+    Sip,
+    SipArc,
+    build_chain_sip,
+    build_empty_sip,
+    build_full_sip,
+    greedy_order,
+)
+
+X, Y = Variable("X"), Variable("Y")
+Z1, Z2, Z3, Z4 = (Variable(f"Z{i}") for i in range(1, 5))
+
+# the paper's running example (Example 1): nonlinear same generation
+SG_RULE = parse_rule(
+    "sg(X, Y) :- up(X, Z1), sg(Z1, Z2), flat(Z2, Z3), sg(Z3, Z4), down(Z4, Y)."
+)
+
+
+def is_derived(literal):
+    return literal.pred == "sg"
+
+
+class TestFullSip:
+    """The compressed full sip (I)/(IV) of Example 1."""
+
+    def test_arcs_match_example_1(self):
+        sip = build_full_sip(SG_RULE, "bf", is_derived)
+        # arcs into every body literal (all receive bindings)
+        assert {arc.target for arc in sip.arcs} == {0, 1, 2, 3, 4}
+        # {sg_h} ->X up
+        arc_up = sip.arcs_into(0)[0]
+        assert arc_up.tail == frozenset({HEAD})
+        assert arc_up.label == frozenset({X})
+        # {sg_h, up} ->Z1 sg.1
+        arc_sg1 = sip.arcs_into(1)[0]
+        assert arc_sg1.tail == frozenset({HEAD, 0})
+        assert arc_sg1.label == frozenset({Z1})
+        # {sg_h, up, sg.1} ->Z2 flat
+        arc_flat = sip.arcs_into(2)[0]
+        assert arc_flat.label == frozenset({Z2})
+        # {sg_h, up, sg.1, flat} ->Z3 sg.2
+        arc_sg2 = sip.arcs_into(3)[0]
+        assert arc_sg2.tail == frozenset({HEAD, 0, 1, 2})
+        assert arc_sg2.label == frozenset({Z3})
+
+    def test_total_order_is_left_to_right(self):
+        sip = build_full_sip(SG_RULE, "bf", is_derived)
+        assert sip.total_order() == (0, 1, 2, 3, 4)
+
+    def test_no_bound_head_arguments(self):
+        sip = build_full_sip(SG_RULE, "ff", is_derived)
+        # X unbound: up gets no arc; sg.1 gets no arc; nothing flows
+        # until a literal is solved free -- the full builder still finds
+        # arcs once earlier literals provide variables
+        assert not sip.arcs_into(0)
+        assert not sip.has_head_node()
+
+    def test_is_full_for_its_order(self):
+        sip = build_full_sip(SG_RULE, "bf", is_derived)
+        assert sip.is_full_for_order(is_derived)
+
+    def test_custom_order(self):
+        rule = parse_rule("p(X, Y) :- q(X, Z), r(Z, Y).")
+        sip = build_full_sip(
+            rule, "fb", lambda lit: False, order=(1, 0)
+        )
+        # Y bound: r is evaluated first (receives Y), then q receives Z
+        arc_r = sip.arcs_into(1)[0]
+        assert arc_r.label == frozenset({Y})
+        arc_q = sip.arcs_into(0)[0]
+        assert arc_q.label == frozenset({Variable("Z")})
+        assert sip.total_order() == (1, 0)
+
+
+class TestChainSip:
+    """The no-memory partial sip (II)/(V) of Example 1."""
+
+    def test_tails_forget_the_past(self):
+        sip = build_chain_sip(SG_RULE, "bf", is_derived)
+        # {sg_h; up} -> sg.1 : nearest derived-or-head is the head,
+        # with the base literal up in between
+        arc_sg1 = sip.arcs_into(1)[0]
+        assert arc_sg1.tail == frozenset({HEAD, 0})
+        # {sg.1; flat} -> sg.2 : past (head, up) forgotten
+        arc_sg2 = sip.arcs_into(3)[0]
+        assert arc_sg2.tail == frozenset({1, 2})
+        assert arc_sg2.label == frozenset({Z3})
+
+    def test_partial_wrt_full(self):
+        full = build_full_sip(SG_RULE, "bf", is_derived)
+        chain = build_chain_sip(SG_RULE, "bf", is_derived)
+        assert chain.contained_in(full)
+        assert chain.properly_contained_in(full)
+        assert not full.contained_in(chain)
+
+    def test_not_full(self):
+        chain = build_chain_sip(SG_RULE, "bf", is_derived)
+        assert not chain.is_full_for_order(is_derived)
+
+
+class TestEmptySip:
+    def test_no_arcs(self):
+        sip = build_empty_sip(SG_RULE, "bf", is_derived)
+        assert sip.arcs == ()
+        assert sip.total_order() == (0, 1, 2, 3, 4)
+
+
+class TestValidation:
+    def test_label_var_must_appear_in_tail(self):
+        rule = parse_rule("p(X, Y) :- q(X, Z), r(Z, Y).")
+        with pytest.raises(SipValidationError) as excinfo:
+            Sip(rule, "bf", (SipArc({HEAD}, 1, {Variable("Z")}),))
+        assert "2i" in str(excinfo.value)
+
+    def test_tail_must_connect_to_label(self):
+        rule = parse_rule("p(X, Y) :- q(X, W), r(W, Z), s(X, Y).")
+        # r shares no variable chain (within the tail) with label {X}
+        with pytest.raises(SipValidationError) as excinfo:
+            Sip(rule, "bf", (SipArc({HEAD, 1}, 2, {Variable("X")}),))
+        assert "2ii" in str(excinfo.value)
+
+    def test_label_must_cover_an_argument(self):
+        rule = parse_rule("p(X, Y) :- q(X, Z), r(f(Z, W), Y).")
+        # Z alone does not cover f(Z, W)
+        with pytest.raises(SipValidationError) as excinfo:
+            Sip(rule, "bf", (SipArc({HEAD, 0}, 1, {Variable("Z")}),))
+        assert "2iii" in str(excinfo.value)
+
+    def test_cyclic_precedence_rejected(self):
+        rule = parse_rule("p(X) :- q(X, Z), r(Z, X).")
+        arcs = (
+            SipArc({1}, 0, {Variable("Z")}),
+            SipArc({0}, 1, {Variable("Z")}),
+        )
+        with pytest.raises(SipValidationError) as excinfo:
+            Sip(rule, "bf"[:1], arcs)
+        assert "condition 3" in str(excinfo.value)
+
+    def test_target_not_in_own_tail(self):
+        rule = parse_rule("p(X) :- q(X, Z).")
+        with pytest.raises(SipValidationError):
+            SipArc({0}, 0, {Variable("Z")})
+
+    def test_head_node_requires_bound_argument(self):
+        rule = parse_rule("p(X, Y) :- q(X, Y).")
+        with pytest.raises(SipValidationError):
+            Sip(rule, "ff", (SipArc({HEAD}, 0, {Variable("X")}),))
+
+
+class TestPrecedence:
+    def test_precedes_relation(self):
+        sip = build_full_sip(SG_RULE, "bf", is_derived)
+        precedes = sip.precedes()
+        # the head reaches everything
+        assert precedes[HEAD] >= {0, 1, 2, 3, 4}
+        # up (position 0) reaches the later positions
+        assert 3 in precedes[0]
+
+    def test_chain_precedes_transitive(self):
+        sip = build_chain_sip(SG_RULE, "bf", is_derived)
+        precedes = sip.precedes()
+        # head reaches sg.2 only transitively (via up, sg.1, flat)
+        assert 3 in precedes[HEAD]
+
+
+class TestContainment:
+    def test_reflexive(self):
+        sip = build_full_sip(SG_RULE, "bf", is_derived)
+        assert sip.contained_in(sip)
+        assert not sip.properly_contained_in(sip)
+
+
+class TestGreedyOrder:
+    def test_prefers_bound_literals(self):
+        rule = parse_rule("p(X, Y) :- r(Z, Y), q(X, Z).")
+        order = greedy_order(rule, "bf")
+        # q(X, Z) has a bound argument (X); r does not -- q goes first
+        assert order == (1, 0)
+
+    def test_is_a_permutation(self):
+        order = greedy_order(SG_RULE, "bf")
+        assert sorted(order) == [0, 1, 2, 3, 4]
+
+
+class TestRemap:
+    def test_remapped_positions(self):
+        rule = parse_rule("p(X, Y) :- r(Z, Y), q(X, Z).")
+        sip = build_full_sip(rule, "bf", lambda l: False, order=(1, 0))
+        reordered = parse_rule("p(X, Y) :- q(X, Z), r(Z, Y).")
+        remapped = sip.remapped({1: 0, 0: 1}, reordered)
+        assert remapped.arcs_into(0)[0].label == frozenset({X})

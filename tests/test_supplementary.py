@@ -1,0 +1,160 @@
+"""Generalized supplementary magic -- Section 5, Appendix A.4 (E3)."""
+
+import pytest
+
+from repro import parse_query, rewrite
+from repro.workloads import (
+    ancestor_program,
+    ancestor_query,
+    integer_list,
+    list_reverse_program,
+    nested_samegen_program,
+    nested_samegen_query,
+    nonlinear_ancestor_program,
+    nonlinear_samegen_program,
+    reverse_query,
+    samegen_query,
+)
+
+from conftest import assert_rules_equal, canonical_rules
+
+
+def gsms(program, query, **kwargs):
+    return rewrite(program, query, method="supplementary_magic", **kwargs)
+
+
+class TestAppendixA4:
+    """The four GSMS rewrites of Appendix A.4 (optimized forms)."""
+
+    def test_ancestor(self):
+        rewritten = gsms(ancestor_program(), ancestor_query("john"))
+        assert_rules_equal(
+            rewritten,
+            [
+                "anc^bf(A, B) :- magic_anc_bf(A), par(A, B).",
+                "anc^bf(A, B) :- supmagic2_2(A, C), anc^bf(C, B).",
+                "magic_anc_bf(A) :- supmagic2_2(B, A).",
+                "supmagic2_2(A, B) :- magic_anc_bf(A), par(A, B).",
+            ],
+        )
+
+    def test_nonlinear_ancestor(self):
+        rewritten = gsms(
+            nonlinear_ancestor_program(), ancestor_query("john")
+        )
+        # A.4.2: the tautology magic(X) :- magic(X) is deleted
+        assert_rules_equal(
+            rewritten,
+            [
+                "anc^bf(A, B) :- magic_anc_bf(A), par(A, B).",
+                "anc^bf(A, B) :- supmagic2_2(A, C), anc^bf(C, B).",
+                "magic_anc_bf(A) :- supmagic2_2(B, A).",
+                "supmagic2_2(A, B) :- magic_anc_bf(A), anc^bf(A, B).",
+            ],
+        )
+
+    def test_nested_samegen(self):
+        rewritten = gsms(
+            nested_samegen_program(), nested_samegen_query("john")
+        )
+        assert_rules_equal(
+            rewritten,
+            [
+                "magic_p_bf(A) :- supmagic2_2(B, A).",
+                "magic_sg_bf(A) :- magic_p_bf(A).",
+                "magic_sg_bf(A) :- supmagic4_2(B, A).",
+                "p^bf(A, B) :- magic_p_bf(A), b1(A, B).",
+                "p^bf(A, B) :- supmagic2_2(A, C), p^bf(C, D), b2(D, B).",
+                "sg^bf(A, B) :- magic_sg_bf(A), flat(A, B).",
+                "sg^bf(A, B) :- supmagic4_2(A, C), sg^bf(C, D), down(D, B).",
+                "supmagic2_2(A, B) :- magic_p_bf(A), sg^bf(A, B).",
+                "supmagic4_2(A, B) :- magic_sg_bf(A), up(A, B).",
+            ],
+        )
+
+    def test_list_reverse(self):
+        rewritten = gsms(
+            list_reverse_program(), reverse_query(integer_list(2))
+        )
+        assert_rules_equal(
+            rewritten,
+            [
+                "append^bbf(A, [B | C], [B | D]) :- "
+                "magic_append_bbf(A, [B | C]), append^bbf(A, C, D).",
+                "append^bbf(A, [], [A]) :- magic_append_bbf(A, []).",
+                "magic_append_bbf(A, B) :- magic_append_bbf(A, [C | B]).",
+                "magic_append_bbf(A, B) :- supmagic2_2(A, C, B).",
+                "magic_reverse_bf(A) :- magic_reverse_bf([B | A]).",
+                "reverse^bf([A | B], C) :- supmagic2_2(A, B, D), "
+                "append^bbf(A, D, C).",
+                "reverse^bf([], []) :- magic_reverse_bf([]).",
+                "supmagic2_2(A, B, C) :- magic_reverse_bf([A | B]), "
+                "reverse^bf(B, C).",
+            ],
+        )
+
+
+class TestExample5:
+    def test_nonlinear_samegen(self):
+        """Example 5: the supplementary chain stores each prefix join."""
+        rewritten = gsms(nonlinear_samegen_program(), samegen_query("john"))
+        assert_rules_equal(
+            rewritten,
+            [
+                "magic_sg_bf(A) :- supmagic2_2(B, A).",
+                "magic_sg_bf(A) :- supmagic2_4(B, A).",
+                "sg^bf(A, B) :- magic_sg_bf(A), flat(A, B).",
+                "sg^bf(A, B) :- supmagic2_4(A, C), sg^bf(C, D), down(D, B).",
+                "supmagic2_2(A, B) :- magic_sg_bf(A), up(A, B).",
+                "supmagic2_3(A, B) :- supmagic2_2(A, C), sg^bf(C, B).",
+                "supmagic2_4(A, B) :- supmagic2_3(A, C), flat(C, B).",
+            ],
+        )
+
+
+class TestVariableTrimming:
+    def test_phi_drops_dead_variables(self):
+        """phi_j keeps only variables needed by the head or later body
+        literals (the 'discard' optimization of Section 5)."""
+        from repro import parse_program
+
+        program = parse_program(
+            """
+            r(X, Y) :- e(X, Y).
+            p(X, Y) :- a(X, U), b(U, V), r(V, W), c(W, Y).
+            """
+        ).program
+        rewritten = gsms(program, parse_query("p(s, Y)?"))
+        sup_rules = [
+            rr
+            for rr in rewritten.rules
+            if rr.rule.head.pred.startswith("supmagic")
+        ]
+        # the sup predicate just before r must not carry X or U: only V
+        # (for r) and nothing else is needed later (Y comes from c)
+        last_sup = max(sup_rules, key=lambda rr: rr.rule.head.pred)
+        arg_names = {str(a) for a in last_sup.rule.head.args}
+        # U is dead after b is joined; X stays (the head needs it) and V
+        # stays (r consumes it)
+        assert "U" not in arg_names
+        assert "V" in arg_names
+        assert "X" in arg_names
+
+
+class TestAllFreeFallback:
+    def test_all_free_head_uses_gms_rules(self):
+        """Rules invoked all-free have no magic seed; GSMS falls back to
+        GMS-style magic rules for their body occurrences."""
+        from repro import parse_program
+
+        program = parse_program(
+            """
+            r(X, Y) :- e(X, Y).
+            r(X, Y) :- e(X, Z), r(Z, Y).
+            top(X, Y) :- r(X, Y).
+            """
+        ).program
+        rewritten = gsms(program, parse_query("?- top(X, Y)."))
+        assert rewritten.seed_facts == ()
+        rules = canonical_rules(rewritten)
+        assert "top^ff(A, B) :- r^ff(A, B)." in rules

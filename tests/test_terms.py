@@ -1,0 +1,204 @@
+"""Unit tests for the term language (repro.datalog.terms)."""
+
+import pytest
+
+from repro import Constant, LinExpr, Struct, Variable, make_list, list_elements
+from repro.datalog.terms import (
+    EMPTY_LIST,
+    fresh_variable_factory,
+    ground_term_length,
+    is_list_term,
+    term_is_ground,
+    term_variables,
+)
+
+
+class TestVariable:
+    def test_identity_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+        assert hash(Variable("X")) == hash(Variable("X"))
+
+    def test_not_ground(self):
+        assert not Variable("X").is_ground()
+
+    def test_variables(self):
+        var = Variable("X")
+        assert var.variables() == (var,)
+
+    def test_substitute(self):
+        var = Variable("X")
+        assert var.substitute({var: Constant(1)}) == Constant(1)
+        assert var.substitute({}) is var
+
+    def test_anonymous(self):
+        assert Variable("_").is_anonymous()
+        assert Variable("_sj0").is_anonymous()
+        assert not Variable("X").is_anonymous()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Variable("X").name = "Y"
+
+
+class TestConstant:
+    def test_equality_by_value_and_type(self):
+        assert Constant(1) == Constant(1)
+        assert Constant(1) != Constant(2)
+        assert Constant("1") != Constant(1)
+        assert Constant("a") == Constant("a")
+
+    def test_ground(self):
+        assert Constant("a").is_ground()
+        assert Constant("a").variables() == ()
+
+    def test_substitute_is_identity(self):
+        c = Constant("a")
+        assert c.substitute({Variable("X"): Constant(1)}) is c
+
+    def test_str(self):
+        assert str(Constant("john")) == "john"
+        assert str(Constant(42)) == "42"
+
+
+class TestStruct:
+    def test_construction(self):
+        t = Struct("f", (Constant(1), Variable("X")))
+        assert t.functor == "f"
+        assert t.arity == 2
+
+    def test_requires_args(self):
+        with pytest.raises(ValueError):
+            Struct("f", ())
+
+    def test_rejects_non_terms(self):
+        with pytest.raises(TypeError):
+            Struct("f", (1,))
+
+    def test_variables_order_and_dedup(self):
+        x, y = Variable("X"), Variable("Y")
+        t = Struct("f", (y, Struct("g", (x, y))))
+        assert t.variables() == (y, x)
+
+    def test_groundness(self):
+        assert Struct("f", (Constant(1),)).is_ground()
+        assert not Struct("f", (Variable("X"),)).is_ground()
+
+    def test_substitute(self):
+        x = Variable("X")
+        t = Struct("f", (x, Constant(1)))
+        assert t.substitute({x: Constant(2)}) == Struct(
+            "f", (Constant(2), Constant(1))
+        )
+
+    def test_substitute_ground_shortcut(self):
+        t = Struct("f", (Constant(1),))
+        assert t.substitute({Variable("X"): Constant(2)}) is t
+
+    def test_nested_equality(self):
+        t1 = Struct("f", (Struct("g", (Constant(1),)),))
+        t2 = Struct("f", (Struct("g", (Constant(1),)),))
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+
+    def test_str(self):
+        t = Struct("f", (Constant("a"), Variable("X")))
+        assert str(t) == "f(a, X)"
+
+
+class TestLists:
+    def test_empty_list(self):
+        assert EMPTY_LIST.is_ground()
+        assert str(EMPTY_LIST) == "[]"
+
+    def test_make_and_unmake(self):
+        items = [Constant(i) for i in range(3)]
+        lst = make_list(items)
+        assert is_list_term(lst)
+        assert list_elements(lst) == tuple(items)
+
+    def test_partial_list(self):
+        tail = Variable("T")
+        lst = make_list([Constant(1)], tail)
+        assert not is_list_term(lst)
+        with pytest.raises(ValueError):
+            list_elements(lst)
+
+    def test_list_str(self):
+        lst = make_list([Constant(1), Constant(2)])
+        assert str(lst) == "[1, 2]"
+        open_list = make_list([Constant(1)], Variable("T"))
+        assert str(open_list) == "[1 | T]"
+
+
+class TestLinExpr:
+    def test_construction_constraints(self):
+        with pytest.raises(ValueError):
+            LinExpr(Variable("X"), 0, 1)
+        with pytest.raises(TypeError):
+            LinExpr(Constant(1), 1, 1)
+
+    def test_solve(self):
+        expr = LinExpr(Variable("K"), 2, 2)  # 2K + 2
+        assert expr.solve(6) == 2
+        assert expr.solve(5) is None
+
+    def test_solve_rejects_negative_levels(self):
+        # counting indices live in the naturals: a negative solution
+        # denotes a level "before the seed" and is rejected
+        expr = LinExpr(Variable("K"), 3, 1)
+        assert expr.solve(1) == 0
+        assert expr.solve(-2) is None
+
+    def test_substitute_with_constant(self):
+        x = Variable("X")
+        expr = LinExpr(x, 2, 1)
+        assert expr.substitute({x: Constant(3)}) == Constant(7)
+
+    def test_substitute_with_variable(self):
+        x, y = Variable("X"), Variable("Y")
+        expr = LinExpr(x, 2, 1)
+        assert expr.substitute({x: y}) == LinExpr(y, 2, 1)
+
+    def test_compose_with_linexpr(self):
+        x, y = Variable("X"), Variable("Y")
+        outer = LinExpr(x, 2, 1)
+        assert outer.apply_to(LinExpr(y, 3, 4)) == LinExpr(y, 6, 9)
+
+    def test_str(self):
+        assert str(LinExpr(Variable("I"), 1, 1)) == "I+1"
+        assert str(LinExpr(Variable("K"), 2, 2)) == "2*K+2"
+
+    def test_non_integer_binding_raises(self):
+        x = Variable("X")
+        with pytest.raises(TypeError):
+            LinExpr(x, 2, 1).substitute({x: Constant("a")})
+
+
+class TestHelpers:
+    def test_term_variables(self):
+        x, y = Variable("X"), Variable("Y")
+        assert term_variables([x, Struct("f", (y, x))]) == (x, y)
+
+    def test_term_is_ground(self):
+        assert term_is_ground([Constant(1), EMPTY_LIST])
+        assert not term_is_ground([Constant(1), Variable("X")])
+
+    def test_ground_term_length(self):
+        # |c| = 1; |f(t1..tn)| = 1 + sum
+        assert ground_term_length(Constant(1)) == 1
+        nested = Struct("f", (Constant(1), Struct("g", (Constant(2),))))
+        assert ground_term_length(nested) == 4
+
+    def test_ground_term_length_rejects_variables(self):
+        with pytest.raises(ValueError):
+            ground_term_length(Variable("X"))
+
+    def test_fresh_variable_factory(self):
+        gen = fresh_variable_factory("T")
+        assert next(gen) == Variable("T0")
+        assert next(gen) == Variable("T1")

@@ -1,0 +1,118 @@
+"""The QSQ evaluator -- the reference sip strategy (Section 9's oracle)."""
+
+import pytest
+
+from repro import (
+    EvaluationError,
+    NonTerminationError,
+    adorn_program,
+    bottom_up_answer,
+    qsq_evaluate,
+)
+from repro.workloads import (
+    ancestor_program,
+    ancestor_query,
+    chain_database,
+    cycle_database,
+    integer_list,
+    list_reverse_program,
+    nonlinear_ancestor_program,
+    nonlinear_samegen_program,
+    random_dag_database,
+    reverse_query,
+    samegen_database,
+    samegen_query,
+)
+from repro.datalog.database import Database
+
+
+def run_qsq(program, query, db, **kwargs):
+    adorned = adorn_program(program, query)
+    result = qsq_evaluate(
+        adorned.program, db, adorned.query_literal, **kwargs
+    )
+    return adorned, result
+
+
+class TestAnswers:
+    def test_ancestor_chain(self):
+        db = chain_database(8)
+        adorned, result = run_qsq(ancestor_program(), ancestor_query("n0"), db)
+        expected = bottom_up_answer(
+            ancestor_program(), db, ancestor_query("n0")
+        ).answers
+        assert result.query_answers(adorned.query_literal) == expected
+
+    def test_ancestor_cycle_terminates(self):
+        db = cycle_database(5)
+        adorned, result = run_qsq(ancestor_program(), ancestor_query("n0"), db)
+        assert len(result.query_answers(adorned.query_literal)) == 5
+
+    def test_nonlinear_ancestor(self):
+        db = random_dag_database(20, 0.15, seed=1)
+        q = ancestor_query("n0")
+        adorned, result = run_qsq(nonlinear_ancestor_program(), q, db)
+        expected = bottom_up_answer(nonlinear_ancestor_program(), db, q).answers
+        assert result.query_answers(adorned.query_literal) == expected
+
+    def test_nonlinear_samegen(self):
+        db = samegen_database(3, 4, flat_edges=6)
+        q = samegen_query("L0_0")
+        adorned, result = run_qsq(nonlinear_samegen_program(), q, db)
+        expected = bottom_up_answer(
+            nonlinear_samegen_program(), db, q
+        ).answers
+        assert result.query_answers(adorned.query_literal) == expected
+
+    def test_list_reverse(self):
+        q = reverse_query(integer_list(4))
+        adorned, result = run_qsq(list_reverse_program(), q, Database())
+        answers = result.query_answers(adorned.query_literal)
+        assert len(answers) == 1
+        assert str(next(iter(answers))[0]) == "[3, 2, 1, 0]"
+
+
+class TestQueriesGenerated:
+    def test_magic_set_shape_on_chain(self):
+        """Q for anc^bf on a chain from n0 is exactly the reachable
+        nodes -- the magic set."""
+        db = chain_database(6)
+        adorned, result = run_qsq(ancestor_program(), ancestor_query("n0"), db)
+        queries = result.queries["anc^bf"]
+        names = {str(row[0]) for row in queries}
+        assert names == {f"n{i}" for i in range(7)}
+
+    def test_subquery_counter(self):
+        db = chain_database(4)
+        _, result = run_qsq(ancestor_program(), ancestor_query("n0"), db)
+        assert result.subqueries_generated == result.query_count()
+
+
+class TestBudgets:
+    def test_iteration_budget(self):
+        from repro import parse_program, parse_query
+
+        program = parse_program(
+            """
+            s(X, Y) :- base(X, Y).
+            s(X, [a | Y]) :- s(X, Y).
+            """
+        ).program
+        db = Database()
+        db.add_values("base", [("q", "nil")])
+        adorned = adorn_program(program, parse_query("s(q, Y)?"))
+        with pytest.raises(NonTerminationError):
+            qsq_evaluate(
+                adorned.program, db, adorned.query_literal, max_iterations=20
+            )
+
+    def test_unknown_query_predicate(self):
+        from repro import Literal, Constant
+
+        adorned = adorn_program(ancestor_program(), ancestor_query("a"))
+        with pytest.raises(EvaluationError):
+            qsq_evaluate(
+                adorned.program,
+                Database(),
+                Literal("nope", (Constant("a"),), "b"),
+            )

@@ -1,0 +1,75 @@
+"""Workload generator tests (repro.workloads)."""
+
+from repro.workloads import (
+    chain_database,
+    chain_edges,
+    cycle_edges,
+    grid_edges,
+    integer_list,
+    nested_samegen_database,
+    random_dag_edges,
+    samegen_database,
+    samegen_edges,
+    tree_edges,
+)
+from repro.datalog.terms import list_elements
+
+
+class TestGraphs:
+    def test_chain(self):
+        edges = chain_edges(3)
+        assert edges == [("n0", "n1"), ("n1", "n2"), ("n2", "n3")]
+
+    def test_tree_size(self):
+        edges = tree_edges(3, fanout=2)
+        assert len(edges) == 2 + 4 + 8
+
+    def test_random_dag_acyclic(self):
+        edges = random_dag_edges(20, 0.3, seed=1)
+        for src, dst in edges:
+            assert int(src[1:]) < int(dst[1:])
+
+    def test_random_dag_deterministic(self):
+        assert random_dag_edges(15, 0.2, seed=9) == random_dag_edges(
+            15, 0.2, seed=9
+        )
+
+    def test_cycle(self):
+        edges = cycle_edges(4)
+        assert ("n3", "n0") in edges
+        assert len(edges) == 4
+
+    def test_grid(self):
+        edges = grid_edges(2, 2)
+        assert len(edges) == 4
+
+    def test_database_loading(self):
+        db = chain_database(5)
+        assert len(db.tuples("par")) == 5
+
+
+class TestSamegen:
+    def test_layer_structure(self):
+        edge_sets = samegen_edges(2, 3, flat_edges=2, seed=0)
+        assert all(src.startswith("L") for src, _ in edge_sets["up"])
+        # flat edges exist within layers 1..layers
+        layers_with_flat = {src.split("_")[0] for src, _ in edge_sets["flat"]}
+        assert layers_with_flat <= {"L1", "L2"}
+
+    def test_database_relations(self):
+        db = samegen_database(2, 3)
+        assert {"up", "flat", "down"} <= db.predicate_keys()
+
+    def test_nested_adds_b_relations(self):
+        db = nested_samegen_database(2, 3)
+        assert {"b1", "b2"} <= db.predicate_keys()
+
+
+class TestLists:
+    def test_integer_list(self):
+        lst = integer_list(3)
+        values = [t.value for t in list_elements(lst)]
+        assert values == [0, 1, 2]
+
+    def test_empty(self):
+        assert list_elements(integer_list(0)) == ()
