@@ -34,6 +34,7 @@ Quickstart::
 
 from .datalog import (
     AdornmentError,
+    CompiledProgram,
     ConnectivityError,
     Constant,
     Database,
@@ -41,6 +42,8 @@ from .datalog import (
     EvaluationError,
     EvaluationResult,
     EvaluationStats,
+    JoinPlan,
+    JoinStep,
     LinExpr,
     Literal,
     NonTerminationError,
@@ -59,10 +62,12 @@ from .datalog import (
     Variable,
     WellFormednessError,
     answer_tuples,
+    compile_rule,
     evaluate,
     evaluate_naive,
     evaluate_seminaive,
     explain,
+    order_body,
     fact_stages,
     list_elements,
     make_list,
@@ -110,6 +115,7 @@ __all__ = [
     "parse_program", "parse_rule", "parse_literal", "parse_term",
     "parse_query", "make_list", "list_elements",
     "evaluate", "evaluate_naive", "evaluate_seminaive", "answer_tuples",
+    "CompiledProgram", "JoinPlan", "JoinStep", "compile_rule", "order_body",
     "qsq_evaluate", "QSQResult",
     "explain", "fact_stages", "DerivationNode",
     "EvaluationResult", "EvaluationStats",

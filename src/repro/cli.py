@@ -109,6 +109,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument(
         "--stats", action="store_true", help="print work counters"
     )
+    p_query.add_argument(
+        "--no-planner", action="store_true",
+        help="run the legacy interpretive join instead of compiled join "
+        "plans (A/B comparison; answers are identical)",
+    )
 
     p_adorn = sub.add_parser("adorn", help="print the adorned program")
     add_common(p_adorn, with_method=False)
@@ -184,6 +189,7 @@ def _cmd_query(args) -> int:
         semijoin=args.semijoin,
         optimize=not args.no_optimize,
         max_iterations=args.max_iterations,
+        use_planner=not args.no_planner,
     )
     free_vars = [v.name for v in query.free_variables()]
     if not free_vars:

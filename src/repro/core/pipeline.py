@@ -146,6 +146,7 @@ def answer_query(
     semijoin: bool = False,
     max_iterations: Optional[int] = None,
     max_facts: Optional[int] = None,
+    use_planner: bool = True,
 ) -> QueryAnswer:
     """Answer a query end to end.
 
@@ -153,10 +154,15 @@ def answer_query(
     ``"naive"`` / ``"seminaive"`` (bottom-up on the original program,
     then select/project -- the Section 1 strawman) or ``"qsq"``
     (top-down on the adorned program).
+
+    ``use_planner`` selects the bottom-up execution path: compiled join
+    plans (default) or the legacy interpretive join -- the two are
+    answer-equivalent, so A/B comparisons only move the work counters.
     """
     if method in ("naive", "seminaive"):
         return bottom_up_answer(
-            program, database, query, method, max_iterations, max_facts
+            program, database, query, method, max_iterations, max_facts,
+            use_planner,
         )
     if method == "qsq":
         adorned = adorn_program(program, query, sip_builder)
@@ -187,6 +193,7 @@ def answer_query(
         method=engine,
         max_iterations=max_iterations,
         max_facts=max_facts,
+        use_planner=use_planner,
     )
     return QueryAnswer(
         answers=rewritten.extract_answers(result),
@@ -204,6 +211,7 @@ def bottom_up_answer(
     engine: str = "seminaive",
     max_iterations: Optional[int] = None,
     max_facts: Optional[int] = None,
+    use_planner: bool = True,
 ) -> QueryAnswer:
     """The Section 1 strawman: evaluate everything, then select."""
     result = evaluate(
@@ -212,6 +220,7 @@ def bottom_up_answer(
         method=engine,
         max_iterations=max_iterations,
         max_facts=max_facts,
+        use_planner=use_planner,
     )
     return QueryAnswer(
         answers=answer_tuples(result, query.literal),

@@ -35,6 +35,7 @@ from .parser import (
     parse_rule,
     parse_term,
 )
+from .planner import CompiledProgram, JoinPlan, JoinStep, compile_rule, order_body
 from .terms import (
     Constant,
     EMPTY_LIST,
@@ -61,6 +62,11 @@ __all__ = [
     "evaluate",
     "evaluate_naive",
     "evaluate_seminaive",
+    "CompiledProgram",
+    "JoinPlan",
+    "JoinStep",
+    "compile_rule",
+    "order_body",
     "QSQResult",
     "qsq_evaluate",
     "DerivationNode",

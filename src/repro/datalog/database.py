@@ -80,23 +80,82 @@ class Relation:
                 added += 1
         return added
 
+    def register_index(self, positions: Tuple[int, ...]) -> None:
+        """Build (or reuse) the hash index on ``positions`` eagerly.
+
+        The join planner calls this up front for every index position
+        tuple its plans will probe, so fixpoint rounds never pay the
+        one-off O(n) lazy build mid-join.  Registered indexes are kept
+        current incrementally by :meth:`add`.
+        """
+        positions = tuple(sorted(set(self._normalize_positions(positions))))
+        if positions and positions not in self._indexes:
+            self._build_index(positions)
+
+    def _normalize_positions(
+        self, positions: Tuple[int, ...]
+    ) -> Tuple[int, ...]:
+        positions = tuple(positions)
+        if any(p < 0 for p in positions) or (
+            self.arity is not None
+            and any(p >= self.arity for p in positions)
+        ):
+            raise ValueError(
+                f"relation {self.name}: index positions {positions} out of "
+                f"range for arity {self.arity}"
+            )
+        return positions
+
+    def _build_index(
+        self, positions: Tuple[int, ...]
+    ) -> Dict[FactTuple, List[FactTuple]]:
+        index: Dict[FactTuple, List[FactTuple]] = {}
+        for row in self._tuples:
+            row_key = tuple(row[i] for i in positions)
+            index.setdefault(row_key, []).append(row)
+        self._indexes[positions] = index
+        return index
+
     def lookup(
         self, positions: Tuple[int, ...], key: FactTuple
     ) -> List[FactTuple]:
         """Tuples whose projection on ``positions`` equals ``key``.
 
-        ``positions`` must be sorted ascending.  An empty position tuple
-        returns all tuples.
+        An empty position tuple returns all tuples.  Positions need not
+        arrive sorted: they are normalized (sorted together with ``key``,
+        duplicates checked for consistency) before the index is consulted,
+        so an unsorted caller gets correct answers instead of a silently
+        inconsistent shadow index.
         """
+        positions = self._normalize_positions(positions)
         if not positions:
             return list(self._tuples)
+        key = tuple(key)
+        if len(key) != len(positions):
+            raise ValueError(
+                f"relation {self.name}: lookup key {key} does not match "
+                f"positions {positions}"
+            )
+        if any(
+            positions[i] >= positions[i + 1]
+            for i in range(len(positions) - 1)
+        ):
+            sorted_positions: List[int] = []
+            sorted_key: List[Term] = []
+            for pos, value in sorted(
+                zip(positions, key), key=lambda pair: pair[0]
+            ):
+                if sorted_positions and sorted_positions[-1] == pos:
+                    if sorted_key[-1] != value:
+                        return []  # same position constrained two ways
+                    continue
+                sorted_positions.append(pos)
+                sorted_key.append(value)
+            positions = tuple(sorted_positions)
+            key = tuple(sorted_key)
         index = self._indexes.get(positions)
         if index is None:
-            index = {}
-            for row in self._tuples:
-                row_key = tuple(row[i] for i in positions)
-                index.setdefault(row_key, []).append(row)
-            self._indexes[positions] = index
+            index = self._build_index(positions)
         return index.get(key, [])
 
     def copy(self) -> "Relation":

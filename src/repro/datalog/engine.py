@@ -22,6 +22,29 @@ the reproduction.
 Programs with function symbols need not terminate (Section 1.1 notes the
 limit may be infinite); both strategies accept iteration and fact budgets
 and raise :class:`~repro.datalog.errors.NonTerminationError` on overrun.
+
+Execution paths
+---------------
+
+Both strategies run, by default, on **compiled join plans**
+(:mod:`repro.datalog.planner`): each rule is compiled once -- per
+delta-literal choice -- into a :class:`~repro.datalog.planner.JoinPlan`
+with a greedily reordered body (delta occurrence first, then maximally
+bound literals), precomputed index-position tuples registered on the
+:class:`Relation` objects up front, and slot-based variable frames in
+place of per-row dict substitutions.  Pass ``use_planner=False`` to run
+the original interpretive join (:func:`_evaluate_rule`) instead; the two
+paths derive identical fact sets and identical ``rule_firings`` /
+``facts_derived`` / ``duplicate_derivations`` counters (those count body
+solutions, which join order cannot change), while ``join_probes`` and
+``tuples_scanned`` measure the work actually done -- the planner's whole
+point is that they shrink.
+
+Testing gotcha: run the suite as ``python -m pytest`` from the repo root
+(``pyproject.toml`` pins ``testpaths = ["tests"]``).  Without that
+pinning, pytest also collects ``benchmarks/``, whose sibling
+``conftest.py`` shadows ``tests/conftest.py`` in the import cache and
+breaks collection with an ImportError on ``assert_rules_equal``.
 """
 
 from __future__ import annotations
@@ -32,6 +55,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from .ast import Literal, Program, Rule
 from .database import Database, FactTuple, Relation
 from .errors import EvaluationError, NonTerminationError
+from .planner import CompiledProgram
 from .terms import Constant, LinExpr, Struct, Term, Variable
 from .unify import Substitution, match_sequences, resolve
 
@@ -207,11 +231,16 @@ def evaluate_naive(
     database: Database,
     max_iterations: Optional[int] = None,
     max_facts: Optional[int] = None,
+    use_planner: bool = True,
 ) -> EvaluationResult:
     """Naive bottom-up fixpoint: all rules against all facts, each round."""
     working = database.copy()
     stats = EvaluationStats()
     derived_keys = program.derived_predicates()
+    compiled: Optional[CompiledProgram] = None
+    if use_planner:
+        compiled = CompiledProgram(program)
+        compiled.register_indexes(working)
     changed = True
     while changed:
         changed = False
@@ -219,10 +248,14 @@ def evaluate_naive(
         _check_budget(
             stats, stats.facts_derived, max_iterations, max_facts
         )
-        for rule in program.rules:
+        for rule_index, rule in enumerate(program.rules):
             head_key = rule.head.pred_key
             relation = working.relation(head_key)
-            for row in _evaluate_rule(rule, working, stats):
+            if compiled is not None:
+                rows = compiled.plan(rule_index).execute(working, stats)
+            else:
+                rows = _evaluate_rule(rule, working, stats)
+            for row in rows:
                 if relation.add(row):
                     stats.record_fact(head_key)
                     changed = True
@@ -238,6 +271,7 @@ def evaluate_seminaive(
     database: Database,
     max_iterations: Optional[int] = None,
     max_facts: Optional[int] = None,
+    use_planner: bool = True,
 ) -> EvaluationResult:
     """Semi-naive bottom-up fixpoint (differential evaluation).
 
@@ -249,6 +283,10 @@ def evaluate_seminaive(
     working = database.copy()
     stats = EvaluationStats()
     derived_keys = program.derived_predicates()
+    compiled: Optional[CompiledProgram] = None
+    if use_planner:
+        compiled = CompiledProgram(program)
+        compiled.register_indexes(working)
 
     # round 1: all rules against the base database (derived relations are
     # empty, so only base-only rules can fire; rules with derived body
@@ -257,10 +295,14 @@ def evaluate_seminaive(
     # by simply evaluating every rule naively once).
     deltas: Dict[str, Relation] = {}
     stats.iterations = 1
-    for rule in program.rules:
+    for rule_index, rule in enumerate(program.rules):
         head_key = rule.head.pred_key
         relation = working.relation(head_key)
-        for row in _evaluate_rule(rule, working, stats):
+        if compiled is not None:
+            rows = compiled.plan(rule_index).execute(working, stats)
+        else:
+            rows = _evaluate_rule(rule, working, stats)
+        for row in rows:
             if relation.add(row):
                 stats.record_fact(head_key)
                 delta_rel = deltas.setdefault(head_key, Relation(head_key))
@@ -273,18 +315,23 @@ def evaluate_seminaive(
         stats.iterations += 1
         _check_budget(stats, stats.facts_derived, max_iterations, max_facts)
         new_deltas: Dict[str, Relation] = {}
-        for rule in program.rules:
+        for rule_index, rule in enumerate(program.rules):
             head_key = rule.head.pred_key
             relation = working.relation(head_key)
-            seen_positions: Set[int] = set()
             for index, literal in enumerate(rule.body):
                 if literal.pred_key not in deltas:
                     continue
                 if literal.pred_key not in derived_keys:
                     continue
-                seen_positions.add(index)
-                delta_spec = (index, literal.pred_key, deltas[literal.pred_key])
-                for row in _evaluate_rule(rule, working, stats, delta_spec):
+                delta_rel = deltas[literal.pred_key]
+                if compiled is not None:
+                    rows = compiled.plan(rule_index, index).execute(
+                        working, stats, delta_rel
+                    )
+                else:
+                    delta_spec = (index, literal.pred_key, delta_rel)
+                    rows = _evaluate_rule(rule, working, stats, delta_spec)
+                for row in rows:
                     if relation.add(row):
                         stats.record_fact(head_key)
                         new_rel = new_deltas.setdefault(
@@ -305,13 +352,16 @@ def evaluate(
     method: str = "seminaive",
     max_iterations: Optional[int] = None,
     max_facts: Optional[int] = None,
+    use_planner: bool = True,
 ) -> EvaluationResult:
     """Dispatch to a bottom-up strategy by name."""
     if method == "naive":
-        return evaluate_naive(program, database, max_iterations, max_facts)
+        return evaluate_naive(
+            program, database, max_iterations, max_facts, use_planner
+        )
     if method == "seminaive":
         return evaluate_seminaive(
-            program, database, max_iterations, max_facts
+            program, database, max_iterations, max_facts, use_planner
         )
     raise ValueError(f"unknown evaluation method {method!r}")
 

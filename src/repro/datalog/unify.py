@@ -25,6 +25,7 @@ __all__ = [
     "unify",
     "unify_sequences",
     "match",
+    "match_into",
     "match_sequences",
     "resolve",
     "compose",
@@ -162,6 +163,21 @@ def match(
     if _match_into(pattern, ground, result):
         return result
     return None
+
+
+def match_into(
+    pattern: Term,
+    ground: Term,
+    subst: Substitution,
+) -> bool:
+    """Mutating variant of :func:`match` for callers that own ``subst``.
+
+    Extends ``subst`` in place with the pattern's bindings and reports
+    success; on failure ``subst`` may hold partial bindings.  The join
+    planner's structured-term fallback uses this to avoid a second dict
+    copy per candidate row.
+    """
+    return _match_into(pattern, ground, subst)
 
 
 def match_sequences(

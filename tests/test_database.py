@@ -60,6 +60,70 @@ class TestRelation:
         assert len(rel) == 1 and len(dup) == 2
 
 
+class TestLookupNormalization:
+    """Regression: unsorted positions used to build a silently
+    inconsistent shadow index (the docstring merely warned)."""
+
+    def fixture_relation(self):
+        rel = Relation("par")
+        rel.add_many(
+            [(c("a"), c("b")), (c("a"), c("x")), (c("b"), c("a"))]
+        )
+        return rel
+
+    def test_unsorted_positions_equal_sorted(self):
+        rel = self.fixture_relation()
+        sorted_rows = rel.lookup((0, 1), (c("a"), c("b")))
+        unsorted_rows = rel.lookup((1, 0), (c("b"), c("a")))
+        assert sorted_rows == unsorted_rows == [(c("a"), c("b"))]
+
+    def test_unsorted_after_sorted_shares_index(self):
+        rel = self.fixture_relation()
+        rel.lookup((0, 1), (c("a"), c("b")))  # builds the sorted index
+        assert len(rel._indexes) == 1
+        rel.lookup((1, 0), (c("x"), c("a")))
+        # normalization reuses the sorted index, no shadow index appears
+        assert len(rel._indexes) == 1
+
+    def test_duplicate_positions_consistent(self):
+        rel = self.fixture_relation()
+        rows = rel.lookup((0, 0), (c("a"), c("a")))
+        assert sorted(str(r[1]) for r in rows) == ["b", "x"]
+
+    def test_duplicate_positions_conflicting(self):
+        rel = self.fixture_relation()
+        assert rel.lookup((0, 0), (c("a"), c("b"))) == []
+
+    def test_key_length_mismatch_raises(self):
+        rel = self.fixture_relation()
+        with pytest.raises(ValueError):
+            rel.lookup((0, 1), (c("a"),))
+
+    def test_out_of_range_position_raises(self):
+        rel = self.fixture_relation()
+        with pytest.raises(ValueError):
+            rel.lookup((5,), (c("a"),))
+        with pytest.raises(ValueError):
+            rel.lookup((-1,), (c("a"),))
+
+    def test_register_index_is_maintained(self):
+        rel = Relation("par")
+        rel.add((c("a"), c("b")))
+        rel.register_index((1,))
+        assert (1,) in rel._indexes
+        rel.add((c("z"), c("b")))
+        assert len(rel.lookup((1,), (c("b"),))) == 2
+
+    def test_register_index_normalizes_like_lookup(self):
+        rel = Relation("par")
+        rel.add((c("a"), c("b")))
+        rel.register_index((1, 0, 1))  # unsorted, duplicated
+        assert list(rel._indexes) == [(0, 1)]
+        # lookup consults the registered index, no shadow index appears
+        assert rel.lookup((1, 0), (c("b"), c("a"))) == [(c("a"), c("b"))]
+        assert list(rel._indexes) == [(0, 1)]
+
+
 class TestDatabase:
     def test_add_fact(self):
         db = Database()

@@ -1,0 +1,348 @@
+"""Unit + property tests for the join-plan compiler (repro.datalog.planner).
+
+Covers plan structure (ordering, precomputed index positions, slot
+frames), exact stats equivalence between the legacy interpretive join and
+compiled plans, the delta handling for rules with two occurrences of the
+same recursive predicate, and the function-symbol / LinExpr fallbacks.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CompiledProgram,
+    Constant,
+    Database,
+    EvaluationError,
+    Literal,
+    Program,
+    Rule,
+    Variable,
+    answer_query,
+    compile_rule,
+    evaluate_naive,
+    evaluate_seminaive,
+    order_body,
+    parse_program,
+    parse_query,
+    parse_rule,
+)
+from repro.workloads import (
+    ancestor_program,
+    ancestor_query,
+    chain_database,
+    cycle_database,
+    integer_list,
+    list_reverse_program,
+    nonlinear_ancestor_program,
+    nonlinear_samegen_program,
+    random_dag_database,
+    reverse_query,
+    samegen_database,
+    samegen_query,
+)
+
+
+def c(value):
+    return Constant(value)
+
+
+def ancestor():
+    return ancestor_program()
+
+
+# ----------------------------------------------------------------------
+# plan structure
+# ----------------------------------------------------------------------
+
+class TestPlanStructure:
+    def test_delta_occurrence_runs_first(self):
+        rule = parse_rule("anc(X, Y) :- par(X, Z), anc(Z, Y).")
+        plan = compile_rule(rule, delta_index=1)
+        assert plan.order == (1, 0)
+        assert plan.steps[0].is_delta
+        assert not plan.steps[1].is_delta
+
+    def test_index_positions_follow_bindings(self):
+        rule = parse_rule("anc(X, Y) :- par(X, Z), anc(Z, Y).")
+        delta_plan = compile_rule(rule, delta_index=1)
+        # delta anc(Z, Y) scans fully, then par(X, Z) probes on Z (pos 1)
+        assert delta_plan.steps[0].index_positions == ()
+        assert delta_plan.steps[1].index_positions == (1,)
+        full_plan = compile_rule(rule)
+        # left-to-right: par(X, Z) scans, anc(Z, Y) probes on Z (pos 0)
+        assert full_plan.order == (0, 1)
+        assert full_plan.steps[1].index_positions == (0,)
+
+    def test_constants_attract_the_first_step(self):
+        rule = parse_rule("p(X) :- q(X, Y), r(a, Y).")
+        plan = compile_rule(rule)
+        # r(a, Y) has a bound (constant) position, so it runs first
+        assert plan.order == (1, 0)
+        assert plan.steps[0].index_positions == (0,)
+
+    def test_slot_frame_covers_rule_variables(self):
+        rule = parse_rule("sg(X, Y) :- up(X, Z1), sg(Z1, Z2), down(Z2, Y).")
+        plan = compile_rule(rule, delta_index=1)
+        assert plan.n_slots == len(rule.variables())
+
+    def test_compiled_program_enumerates_delta_choices(self):
+        program = nonlinear_ancestor_program()
+        compiled = CompiledProgram(program)
+        # rule 1 (anc :- anc, anc) has two delta occurrences
+        assert compiled.delta_occurrences(1) == (0, 1)
+        assert compiled.plan(1, 0).steps[0].is_delta
+        # 2 full plans + 2 delta plans
+        assert len(compiled) == 4
+
+    def test_delta_index_out_of_range(self):
+        rule = parse_rule("anc(X, Y) :- par(X, Y).")
+        with pytest.raises(ValueError):
+            compile_rule(rule, delta_index=3)
+
+    def test_order_body_exposed(self):
+        rule = parse_rule("anc(X, Y) :- par(X, Z), anc(Z, Y).")
+        assert order_body(rule) == (0, 1)
+        assert order_body(rule, delta_index=1) == (1, 0)
+
+    def test_register_indexes_up_front(self):
+        program = ancestor()
+        db = chain_database(3)
+        working = db.copy()
+        compiled = CompiledProgram(program)
+        compiled.register_indexes(working)
+        # the delta plan for the recursive rule probes par on position 1
+        # (Z bound by the delta); that index must exist before any round
+        assert (1,) in working.get("par")._indexes
+
+
+# ----------------------------------------------------------------------
+# equivalence with the legacy interpretive join
+# ----------------------------------------------------------------------
+
+def both_paths(program, db, strategy):
+    evaluate = evaluate_naive if strategy == "naive" else evaluate_seminaive
+    legacy = evaluate(program, db, use_planner=False)
+    planned = evaluate(program, db, use_planner=True)
+    return legacy, planned
+
+
+WORKLOADS = [
+    ("chain", lambda: chain_database(8)),
+    ("cycle", lambda: cycle_database(6)),
+    ("dag", lambda: random_dag_database(12, 0.3, seed=7)),
+]
+
+
+class TestLegacyEquivalence:
+    @pytest.mark.parametrize("strategy", ["naive", "seminaive"])
+    @pytest.mark.parametrize("name,make_db", WORKLOADS, ids=[w[0] for w in WORKLOADS])
+    def test_identical_facts_and_solution_counters(
+        self, strategy, name, make_db
+    ):
+        legacy, planned = both_paths(ancestor(), make_db(), strategy)
+        assert planned.derived_tuples("anc") == legacy.derived_tuples("anc")
+        # solution counters are join-order independent, so they must agree
+        assert planned.stats.rule_firings == legacy.stats.rule_firings
+        assert planned.stats.facts_derived == legacy.stats.facts_derived
+        assert (
+            planned.stats.duplicate_derivations
+            == legacy.stats.duplicate_derivations
+        )
+        assert planned.stats.iterations == legacy.stats.iterations
+
+    def test_mutual_recursion(self):
+        program = parse_program(
+            """
+            even(X, Y) :- edge(X, Y).
+            even(X, Y) :- odd(X, Z), edge(Z, Y).
+            odd(X, Y) :- even(X, Z), edge(Z, Y).
+            """
+        ).program
+        from repro.workloads import chain_edges, load_edges
+
+        db = load_edges(chain_edges(6), relation="edge")
+        legacy, planned = both_paths(program, db, "seminaive")
+        for key in ("even", "odd"):
+            assert planned.derived_tuples(key) == legacy.derived_tuples(key)
+
+    def test_samegen(self):
+        program = nonlinear_samegen_program()
+        db = samegen_database(layers=3, width=4)
+        legacy, planned = both_paths(program, db, "seminaive")
+        assert planned.derived_tuples("sg") == legacy.derived_tuples("sg")
+        assert planned.stats.facts_derived == legacy.stats.facts_derived
+
+    def test_planner_does_less_scan_work(self):
+        program = ancestor()
+        db = chain_database(40)
+        legacy, planned = both_paths(program, db, "seminaive")
+        assert planned.stats.tuples_scanned < legacy.stats.tuples_scanned
+
+
+class TestDeltaStats:
+    """Semi-naive delta handling for a rule with TWO occurrences of the
+    same recursive predicate (nonlinear ancestor)."""
+
+    def test_duplicates_and_probes_match_legacy(self):
+        program = nonlinear_ancestor_program()
+        db = chain_database(6)
+        legacy, planned = both_paths(program, db, "seminaive")
+        assert planned.derived_tuples("anc") == legacy.derived_tuples("anc")
+        # both delta variants re-derive overlapping facts: duplicates are
+        # join-order independent and must agree exactly
+        assert legacy.stats.duplicate_derivations > 0
+        assert (
+            planned.stats.duplicate_derivations
+            == legacy.stats.duplicate_derivations
+        )
+        # each variant probes at least once per round per step
+        assert planned.stats.join_probes > 0
+        assert legacy.stats.join_probes > 0
+
+    def test_both_delta_variants_contribute(self):
+        # a chain needs the second delta occurrence to close long pairs
+        program = nonlinear_ancestor_program()
+        db = chain_database(5)
+        planned = evaluate_seminaive(program, db, use_planner=True)
+        assert len(planned.derived_tuples("anc")) == 15  # C(6, 2)
+
+    def test_naive_and_seminaive_planner_agree(self):
+        program = nonlinear_ancestor_program()
+        db = chain_database(6)
+        naive = evaluate_naive(program, db, use_planner=True)
+        semi = evaluate_seminaive(program, db, use_planner=True)
+        assert naive.derived_tuples("anc") == semi.derived_tuples("anc")
+
+
+# ----------------------------------------------------------------------
+# function symbols, LinExpr, and edge cases
+# ----------------------------------------------------------------------
+
+class TestStructuredTerms:
+    def test_list_reverse_via_magic_matches_legacy(self):
+        program = list_reverse_program()
+        query = reverse_query(integer_list(5))
+        db = Database()
+        legacy = answer_query(
+            program, db, query, method="magic", use_planner=False
+        )
+        planned = answer_query(
+            program, db, query, method="magic", use_planner=True
+        )
+        assert planned.answers == legacy.answers
+        assert len(planned.answers) == 1
+
+    def test_counting_linexpr_matches_legacy(self):
+        program = ancestor()
+        query = ancestor_query("n0")
+        db = chain_database(8)
+        legacy = answer_query(
+            program, db, query, method="counting", use_planner=False
+        )
+        planned = answer_query(
+            program, db, query, method="counting", use_planner=True
+        )
+        assert planned.answers == legacy.answers
+        assert (
+            planned.stats.facts_derived == legacy.stats.facts_derived
+        )
+
+    def test_repeated_variable_in_literal(self):
+        program = parse_program("loop(X) :- par(X, X).").program
+        db = Database()
+        db.add_values("par", [("a", "a"), ("a", "b"), ("c", "c")])
+        legacy = evaluate_seminaive(program, db, use_planner=False)
+        planned = evaluate_seminaive(program, db, use_planner=True)
+        assert (
+            planned.derived_tuples("loop")
+            == legacy.derived_tuples("loop")
+            == {(c("a"),), (c("c"),)}
+        )
+
+    def test_constant_in_head(self):
+        program = parse_program("flag(yes, X) :- par(X, Y).").program
+        db = Database()
+        db.add_values("par", [("a", "b")])
+        planned = evaluate_seminaive(program, db, use_planner=True)
+        assert planned.derived_tuples("flag") == {(c("yes"), c("a"))}
+
+    def test_range_restriction_error_preserved(self):
+        program = Program([Rule(Literal("p", (Variable("X"),)))])
+        for use_planner in (False, True):
+            with pytest.raises(EvaluationError):
+                evaluate_naive(program, Database(), use_planner=use_planner)
+
+    def test_struct_head_argument(self):
+        # head wraps a bound variable in a function term
+        program = parse_program("wrapped(f(X)) :- par(X, Y).").program
+        db = Database()
+        db.add_values("par", [("a", "b")])
+        legacy = evaluate_seminaive(program, db, use_planner=False)
+        planned = evaluate_seminaive(program, db, use_planner=True)
+        assert planned.derived_tuples("wrapped") == legacy.derived_tuples(
+            "wrapped"
+        )
+
+
+# ----------------------------------------------------------------------
+# property tests
+# ----------------------------------------------------------------------
+
+NODES = [f"v{i}" for i in range(8)]
+
+edges_strategy = st.lists(
+    st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)),
+    min_size=0,
+    max_size=24,
+)
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def edge_db(edges, relation="par"):
+    db = Database()
+    db.add_values(relation, set(edges))
+    return db
+
+
+class TestPlannerProperty:
+    @given(edges=edges_strategy)
+    @SETTINGS
+    def test_planner_equals_legacy_linear(self, edges):
+        program = ancestor()
+        db = edge_db(edges)
+        legacy, planned = both_paths(program, db, "seminaive")
+        assert planned.derived_tuples("anc") == legacy.derived_tuples("anc")
+        assert planned.stats.facts_derived == legacy.stats.facts_derived
+
+    @given(edges=edges_strategy)
+    @SETTINGS
+    def test_planner_equals_legacy_nonlinear(self, edges):
+        program = nonlinear_ancestor_program()
+        db = edge_db(edges)
+        legacy, planned = both_paths(program, db, "seminaive")
+        assert planned.derived_tuples("anc") == legacy.derived_tuples("anc")
+        assert (
+            planned.stats.duplicate_derivations
+            == legacy.stats.duplicate_derivations
+        )
+
+    @given(edges=edges_strategy, root=st.sampled_from(NODES))
+    @SETTINGS
+    def test_planner_preserves_magic_answers(self, edges, root):
+        program = ancestor()
+        query = ancestor_query(root)
+        db = edge_db(edges)
+        legacy = answer_query(
+            program, db, query, method="magic", use_planner=False
+        )
+        planned = answer_query(
+            program, db, query, method="magic", use_planner=True
+        )
+        assert planned.answers == legacy.answers
