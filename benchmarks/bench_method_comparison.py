@@ -12,7 +12,15 @@ Three regenerated claims:
 3. On cyclic data the counting methods diverge while the magic methods
    terminate (also covered by E9; repeated here as part of the
    comparison table).
+
+Plus the cross-strategy timing table: with the QSQ evaluator now
+compiled (delta-driven subquery plans), top-down and bottom-up numbers
+compare compiled-vs-compiled -- the gap measures the strategies, not
+interpreter overhead.  ``QSQ_BENCH_DEPTH`` shrinks it for CI smoke.
 """
+
+import os
+import time
 
 import pytest
 
@@ -115,6 +123,41 @@ def test_counting_on_unique_derivations(benchmark):
     benchmark(
         lambda: evaluate(optimized.program, optimized.seeded_database(db))
     )
+
+
+def test_cross_strategy_compiled_vs_compiled(benchmark):
+    """Theorem 9.1's substrate check, timed: QSQ (top-down, compiled
+    subquery plans) vs the rewrites (bottom-up, compiled join plans) vs
+    plain semi-naive, all answering the same query identically; the
+    legacy QSQ path is asserted equivalent so CI catches divergence."""
+    depth = int(os.environ.get("QSQ_BENCH_DEPTH", "80"))
+    program = ancestor_program()
+    query = ancestor_query("n0")
+    db = chain_database(depth)
+
+    timings = {}
+    answers = {}
+    for method in ("qsq", "magic", "supplementary_magic", "seminaive"):
+        t0 = time.perf_counter()
+        result = answer_query(program, db, query, method=method)
+        timings[method] = time.perf_counter() - t0
+        answers[method] = result.answers
+    legacy_qsq = answer_query(
+        program, db, query, method="qsq", use_planner=False
+    )
+    assert legacy_qsq.answers == answers["qsq"]
+    baseline = answers["qsq"]
+    for method, got in answers.items():
+        assert got == baseline, f"{method} diverged from qsq"
+    print_table(
+        f"cross-strategy, compiled-vs-compiled (ancestor, chain {depth})",
+        ["strategy", "answers", "seconds"],
+        [
+            [m, len(answers[m]), f"{timings[m]:.4f}"]
+            for m in timings
+        ],
+    )
+    benchmark(lambda: answer_query(program, db, query, method="qsq"))
 
 
 def test_counting_diverges_where_magic_terminates(benchmark):

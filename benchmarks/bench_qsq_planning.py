@@ -1,0 +1,154 @@
+"""QSQ compiler ablation: legacy interpretive QSQ vs compiled subquery plans.
+
+Not a paper artifact: both execution paths compute the *same* sets ``Q``
+and ``F`` (asserted here), which is what the paper measures.  What the
+compiled path changes is the substrate cost: slot frames instead of dict
+substitutions, answer stores indexed on the adornment's bound positions,
+and -- the big one -- delta-driven rounds in place of the legacy loop's
+full replay of every accumulated ``(rule, bound_vector)`` pair per
+iteration, which is quadratic in rounds.  With both engines compiled,
+the cross-strategy comparison of ``bench_method_comparison.py`` becomes
+a statement about magic vs sip strategies, not interpreter overhead.
+
+``QSQ_BENCH_DEPTH`` / ``QSQ_BENCH_LAYERS`` shrink the workloads for CI
+smoke runs; the >= 3x wall-clock assertion only applies at depth >= 100
+(the legacy path's asymptotic disadvantage needs room to show).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import adorn_program, qsq_evaluate
+from repro.workloads import (
+    ancestor_program,
+    ancestor_query,
+    chain_database,
+    nonlinear_samegen_program,
+    samegen_database,
+    samegen_query,
+)
+
+from conftest import print_table
+
+DEPTH = int(os.environ.get("QSQ_BENCH_DEPTH", "120"))
+LAYERS = int(os.environ.get("QSQ_BENCH_LAYERS", "100"))
+MIN_SPEEDUP = 3.0
+
+
+def run_both(program, query, db):
+    adorned = adorn_program(program, query)
+    t0 = time.perf_counter()
+    legacy = qsq_evaluate(
+        adorned.program, db, adorned.query_literal, use_planner=False
+    )
+    t1 = time.perf_counter()
+    compiled = qsq_evaluate(
+        adorned.program, db, adorned.query_literal, use_planner=True
+    )
+    t2 = time.perf_counter()
+    return adorned, legacy, compiled, t1 - t0, t2 - t1
+
+
+def assert_equivalent(adorned, legacy, compiled):
+    """Identical Q and F -- divergence here fails the CI smoke run."""
+    assert compiled.queries == legacy.queries
+    assert compiled.answers == legacy.answers
+    assert compiled.subqueries_generated == legacy.subqueries_generated
+    assert compiled.query_answers(adorned.query_literal) == (
+        legacy.query_answers(adorned.query_literal)
+    )
+
+
+def report(title, legacy, compiled, legacy_s, compiled_s):
+    speedup = legacy_s / compiled_s if compiled_s > 0 else float("inf")
+    print_table(
+        title,
+        ["path", "queries", "answers", "rounds", "seconds"],
+        [
+            ["legacy", legacy.query_count(), legacy.answer_count(),
+             legacy.iterations, f"{legacy_s:.3f}"],
+            ["compiled", compiled.query_count(), compiled.answer_count(),
+             compiled.iterations, f"{compiled_s:.3f}"],
+            ["speedup", "", "", "", f"{speedup:.1f}x"],
+        ],
+    )
+    return speedup
+
+
+def test_ancestor_chain_qsq_planning(benchmark):
+    """Linear ancestor on a chain: the legacy loop replays every input
+    against every accumulated answer each round."""
+    program = ancestor_program()
+    query = ancestor_query("n0")
+    db = chain_database(DEPTH)
+    adorned, legacy, compiled, legacy_s, compiled_s = run_both(
+        program, query, db
+    )
+    assert_equivalent(adorned, legacy, compiled)
+    speedup = report(
+        f"qsq planning: ancestor on chain {DEPTH}",
+        legacy, compiled, legacy_s, compiled_s,
+    )
+    if DEPTH >= 100:
+        assert speedup >= MIN_SPEEDUP, (
+            f"compiled QSQ only {speedup:.1f}x faster at depth {DEPTH}"
+        )
+    benchmark(
+        lambda: qsq_evaluate(
+            adorned.program, db, adorned.query_literal, use_planner=True
+        )
+    )
+
+
+def test_samegen_qsq_planning(benchmark):
+    """Nonlinear same-generation on layered data at depth >= 100."""
+    program = nonlinear_samegen_program()
+    query = samegen_query("L0_0")
+    db = samegen_database(layers=LAYERS, width=3, flat_edges=2)
+    adorned, legacy, compiled, legacy_s, compiled_s = run_both(
+        program, query, db
+    )
+    assert_equivalent(adorned, legacy, compiled)
+    speedup = report(
+        f"qsq planning: same-generation, {LAYERS} layers",
+        legacy, compiled, legacy_s, compiled_s,
+    )
+    if LAYERS >= 100:
+        assert speedup >= MIN_SPEEDUP, (
+            f"compiled QSQ only {speedup:.1f}x faster at {LAYERS} layers"
+        )
+    benchmark(
+        lambda: qsq_evaluate(
+            adorned.program, db, adorned.query_literal, use_planner=True
+        )
+    )
+
+
+def test_plan_cache_across_repeats(benchmark):
+    """Benchmark-loop shape: repeated evaluation of one program should
+    compile once and hit the shared cache afterwards."""
+    from repro import PlanCache
+
+    cache = PlanCache()
+    program = ancestor_program()
+    query = ancestor_query("n0")
+    db = chain_database(min(DEPTH, 60))
+    adorned = adorn_program(program, query)
+    first = qsq_evaluate(
+        adorned.program, db, adorned.query_literal, plan_cache=cache
+    )
+    assert first.plan_cache_misses == 1
+    for _ in range(3):
+        again = qsq_evaluate(
+            adorned.program, db, adorned.query_literal, plan_cache=cache
+        )
+        assert again.plan_cache_hits == 1
+        assert again.plan_cache_misses == 0
+    assert cache.hits == 3 and cache.misses == 1
+    benchmark(
+        lambda: qsq_evaluate(
+            adorned.program, db, adorned.query_literal, plan_cache=cache
+        )
+    )

@@ -36,6 +36,10 @@ from .datalog import (
     AdornmentError,
     CompiledProgram,
     ConnectivityError,
+    PlanCache,
+    SubqueryPlan,
+    SubqueryProgram,
+    SubqueryStep,
     Constant,
     Database,
     DerivationNode,
@@ -63,6 +67,10 @@ from .datalog import (
     WellFormednessError,
     answer_tuples,
     compile_rule,
+    compile_subquery_rule,
+    compiled_program_for,
+    shared_plan_cache,
+    subquery_program_for,
     evaluate,
     evaluate_naive,
     evaluate_seminaive,
@@ -116,6 +124,9 @@ __all__ = [
     "parse_query", "make_list", "list_elements",
     "evaluate", "evaluate_naive", "evaluate_seminaive", "answer_tuples",
     "CompiledProgram", "JoinPlan", "JoinStep", "compile_rule", "order_body",
+    "PlanCache", "SubqueryPlan", "SubqueryProgram", "SubqueryStep",
+    "compile_subquery_rule", "compiled_program_for", "subquery_program_for",
+    "shared_plan_cache",
     "qsq_evaluate", "QSQResult",
     "explain", "fact_stages", "DerivationNode",
     "EvaluationResult", "EvaluationStats",

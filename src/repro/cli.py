@@ -43,6 +43,9 @@ _SIP_BUILDERS = {
     "empty": build_empty_sip,
 }
 
+#: baseline strategies answer_query accepts besides the rewrite methods
+_BASELINE_METHODS = ("naive", "seminaive", "qsq")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -69,8 +72,10 @@ def build_parser() -> argparse.ArgumentParser:
         if with_method:
             p.add_argument(
                 "--method",
-                choices=REWRITE_METHODS,
+                choices=REWRITE_METHODS + _BASELINE_METHODS,
                 default="supplementary_magic",
+                help="rewrite method, or a baseline: plain bottom-up "
+                "(naive/seminaive) or top-down qsq",
             )
             p.add_argument(
                 "--mode",
@@ -163,6 +168,11 @@ def _load(args) -> tuple:
 
 def _cmd_rewrite(args) -> int:
     program, _, query = _load(args)
+    if args.method in _BASELINE_METHODS:
+        raise ReproError(
+            f"--method {args.method} is an evaluation baseline, not a "
+            "rewrite; use it with the query command"
+        )
     rewritten = rewrite(
         program,
         query,
@@ -201,11 +211,27 @@ def _cmd_query(args) -> int:
             print(", ".join(str(term) for term in row))
     if args.stats and answer.stats is not None:
         stats = answer.stats
-        print(
-            f"% facts={stats.facts_derived} firings={stats.rule_firings} "
-            f"iterations={stats.iterations} probes={stats.join_probes}",
-            file=sys.stderr,
-        )
+        if answer.strategy == "qsq":
+            # the top-down evaluator does not track firings/probes;
+            # printing zeros would misreport real join work as absent
+            print(
+                f"% facts={stats.facts_derived} "
+                f"iterations={stats.iterations} "
+                f"subqueries={answer.qsq.subqueries_generated} "
+                f"plan_cache_hits={stats.plan_cache_hits} "
+                f"plan_cache_misses={stats.plan_cache_misses}",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"% facts={stats.facts_derived} "
+                f"firings={stats.rule_firings} "
+                f"iterations={stats.iterations} "
+                f"probes={stats.join_probes} "
+                f"plan_cache_hits={stats.plan_cache_hits} "
+                f"plan_cache_misses={stats.plan_cache_misses}",
+                file=sys.stderr,
+            )
     return 0
 
 

@@ -36,7 +36,7 @@ from ..datalog.engine import (
 )
 from ..datalog.errors import RewriteError
 from ..datalog.terms import Constant, Term
-from ..datalog.topdown import qsq_evaluate
+from ..datalog.topdown import QSQResult, qsq_evaluate
 from .adornment import AdornedProgram, adorn_program
 from .counting import counting_rewrite
 from .magic import magic_rewrite
@@ -116,6 +116,8 @@ class QueryAnswer:
     stats: Optional[EvaluationStats] = None
     rewritten: Optional[RewrittenProgram] = None
     evaluation: Optional[EvaluationResult] = None
+    #: the raw Q/F sets when the strategy was top-down QSQ
+    qsq: Optional[QSQResult] = None
 
     def values(self) -> Set[Tuple[object, ...]]:
         """Answers with plain Python values in place of Constants."""
@@ -155,9 +157,10 @@ def answer_query(
     then select/project -- the Section 1 strawman) or ``"qsq"``
     (top-down on the adorned program).
 
-    ``use_planner`` selects the bottom-up execution path: compiled join
-    plans (default) or the legacy interpretive join -- the two are
-    answer-equivalent, so A/B comparisons only move the work counters.
+    ``use_planner`` selects the execution path for both bottom-up and
+    QSQ strategies: compiled plans (default) or the legacy interpretive
+    evaluators -- the two are answer-equivalent, so A/B comparisons only
+    move the work counters.
     """
     if method in ("naive", "seminaive"):
         return bottom_up_answer(
@@ -172,10 +175,19 @@ def answer_query(
             adorned.query_literal,
             max_iterations=max_iterations,
             max_facts=max_facts,
+            use_planner=use_planner,
+        )
+        stats = EvaluationStats(
+            iterations=qsq.iterations,
+            facts_derived=qsq.answer_count(),
+            plan_cache_hits=qsq.plan_cache_hits,
+            plan_cache_misses=qsq.plan_cache_misses,
         )
         return QueryAnswer(
             answers=qsq.query_answers(adorned.query_literal),
             strategy="qsq",
+            stats=stats,
+            qsq=qsq,
         )
     rewritten = rewrite(
         program,

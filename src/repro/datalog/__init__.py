@@ -35,7 +35,21 @@ from .parser import (
     parse_rule,
     parse_term,
 )
-from .planner import CompiledProgram, JoinPlan, JoinStep, compile_rule, order_body
+from .planner import (
+    CompiledProgram,
+    JoinPlan,
+    JoinStep,
+    PlanCache,
+    SubqueryPlan,
+    SubqueryProgram,
+    SubqueryStep,
+    compile_rule,
+    compile_subquery_rule,
+    compiled_program_for,
+    order_body,
+    shared_plan_cache,
+    subquery_program_for,
+)
 from .terms import (
     Constant,
     EMPTY_LIST,
@@ -65,8 +79,16 @@ __all__ = [
     "CompiledProgram",
     "JoinPlan",
     "JoinStep",
+    "PlanCache",
+    "SubqueryPlan",
+    "SubqueryProgram",
+    "SubqueryStep",
     "compile_rule",
+    "compile_subquery_rule",
+    "compiled_program_for",
     "order_body",
+    "shared_plan_cache",
+    "subquery_program_for",
     "QSQResult",
     "qsq_evaluate",
     "DerivationNode",

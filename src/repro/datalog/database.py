@@ -73,12 +73,63 @@ class Relation:
         return True
 
     def add_many(self, rows: Iterable[Iterable[Term]]) -> int:
-        """Insert many tuples; returns the number that were new."""
-        added = 0
+        """Insert many tuples; returns the number that were new.
+
+        Bulk fast path: rows are validated up front (so a bad row leaves
+        the relation untouched, unlike repeated :meth:`add` calls which
+        keep the prefix), deduplicated with one set difference, and each
+        registered index is brought up to date in a single batch pass --
+        instead of paying the per-row call and per-row index upkeep of
+        repeated :meth:`add`.
+        """
+        normalized: List[FactTuple] = []
+        append = normalized.append
+        arity = self.arity
+        constant = Constant
         for row in rows:
-            if self.add(row):
-                added += 1
-        return added
+            row = tuple(row)
+            if len(row) != arity:
+                if arity is None:
+                    arity = len(row)
+                else:
+                    raise ValueError(
+                        f"relation {self.name}: arity mismatch, expected "
+                        f"{arity}, got tuple of length {len(row)}"
+                    )
+            for term in row:
+                # constants are ground by construction; only composite
+                # terms need the recursive check
+                if type(term) is not constant and not term.is_ground():
+                    raise ValueError(
+                        f"relation {self.name}: tuple {row} is not ground"
+                    )
+            append(row)
+        if not normalized:
+            return 0
+        self.arity = arity
+        tuples = self._tuples
+        fresh = set(normalized) - tuples
+        if not fresh:
+            return 0
+        tuples |= fresh
+        for positions, index in self._indexes.items():
+            setdefault = index.setdefault
+            # specialized key construction: the generator-expression
+            # tuple build dominates index upkeep, and nearly all
+            # registered indexes cover one or two positions
+            if len(positions) == 1:
+                p0, = positions
+                for row in fresh:
+                    setdefault((row[p0],), []).append(row)
+            elif len(positions) == 2:
+                p0, p1 = positions
+                for row in fresh:
+                    setdefault((row[p0], row[p1]), []).append(row)
+            else:
+                for row in fresh:
+                    key = tuple(row[i] for i in positions)
+                    setdefault(key, []).append(row)
+        return len(fresh)
 
     def register_index(self, positions: Tuple[int, ...]) -> None:
         """Build (or reuse) the hash index on ``positions`` eagerly.

@@ -55,7 +55,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from .ast import Literal, Program, Rule
 from .database import Database, FactTuple, Relation
 from .errors import EvaluationError, NonTerminationError
-from .planner import CompiledProgram
+from .planner import CompiledProgram, PlanCache, compiled_program_for
 from .terms import Constant, LinExpr, Struct, Term, Variable
 from .unify import Substitution, match_sequences, resolve
 
@@ -84,6 +84,9 @@ class EvaluationStats:
     join_probes: int = 0
     #: tuples scanned while extending partial matches
     tuples_scanned: int = 0
+    #: plan-cache outcome for this evaluation (planner path only)
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
     facts_by_predicate: Dict[str, int] = field(default_factory=dict)
 
     def record_fact(self, pred_key: str) -> None:
@@ -226,12 +229,29 @@ def _check_budget(
         )
 
 
+def _compiled_for(
+    program: Program,
+    working: Database,
+    stats: EvaluationStats,
+    plan_cache: Optional[PlanCache],
+) -> CompiledProgram:
+    """Fetch (or build) the program's plans and register their indexes."""
+    compiled, cache_hit = compiled_program_for(program, plan_cache)
+    if cache_hit:
+        stats.plan_cache_hits += 1
+    else:
+        stats.plan_cache_misses += 1
+    compiled.register_indexes(working)
+    return compiled
+
+
 def evaluate_naive(
     program: Program,
     database: Database,
     max_iterations: Optional[int] = None,
     max_facts: Optional[int] = None,
     use_planner: bool = True,
+    plan_cache: Optional[PlanCache] = None,
 ) -> EvaluationResult:
     """Naive bottom-up fixpoint: all rules against all facts, each round."""
     working = database.copy()
@@ -239,8 +259,7 @@ def evaluate_naive(
     derived_keys = program.derived_predicates()
     compiled: Optional[CompiledProgram] = None
     if use_planner:
-        compiled = CompiledProgram(program)
-        compiled.register_indexes(working)
+        compiled = _compiled_for(program, working, stats, plan_cache)
     changed = True
     while changed:
         changed = False
@@ -266,12 +285,33 @@ def evaluate_naive(
     return EvaluationResult(working, derived_keys, stats)
 
 
+def _new_delta_relation(
+    head_key: str,
+    delta_positions: Dict[str, Tuple[Tuple[int, ...], ...]],
+) -> Relation:
+    """A per-round delta relation, pre-indexed for the delta plans.
+
+    Delta literals that carry constants (magic seeds) probe the delta on
+    those positions.  :meth:`Relation.lookup` would build the index
+    lazily on the first probe anyway (once per round, same total cost);
+    registering it at creation moves that build out of the join path so
+    every delta probe -- including the first -- is a plain hash lookup,
+    maintained incrementally by :meth:`Relation.add` as the round's
+    facts arrive.
+    """
+    relation = Relation(head_key)
+    for positions in delta_positions.get(head_key, ()):
+        relation.register_index(positions)
+    return relation
+
+
 def evaluate_seminaive(
     program: Program,
     database: Database,
     max_iterations: Optional[int] = None,
     max_facts: Optional[int] = None,
     use_planner: bool = True,
+    plan_cache: Optional[PlanCache] = None,
 ) -> EvaluationResult:
     """Semi-naive bottom-up fixpoint (differential evaluation).
 
@@ -284,9 +324,10 @@ def evaluate_seminaive(
     stats = EvaluationStats()
     derived_keys = program.derived_predicates()
     compiled: Optional[CompiledProgram] = None
+    delta_positions: Dict[str, Tuple[Tuple[int, ...], ...]] = {}
     if use_planner:
-        compiled = CompiledProgram(program)
-        compiled.register_indexes(working)
+        compiled = _compiled_for(program, working, stats, plan_cache)
+        delta_positions = compiled.delta_index_positions()
 
     # round 1: all rules against the base database (derived relations are
     # empty, so only base-only rules can fire; rules with derived body
@@ -305,7 +346,12 @@ def evaluate_seminaive(
         for row in rows:
             if relation.add(row):
                 stats.record_fact(head_key)
-                delta_rel = deltas.setdefault(head_key, Relation(head_key))
+                delta_rel = deltas.get(head_key)
+                if delta_rel is None:
+                    delta_rel = _new_delta_relation(
+                        head_key, delta_positions
+                    )
+                    deltas[head_key] = delta_rel
                 delta_rel.add(row)
             else:
                 stats.duplicate_derivations += 1
@@ -334,9 +380,12 @@ def evaluate_seminaive(
                 for row in rows:
                     if relation.add(row):
                         stats.record_fact(head_key)
-                        new_rel = new_deltas.setdefault(
-                            head_key, Relation(head_key)
-                        )
+                        new_rel = new_deltas.get(head_key)
+                        if new_rel is None:
+                            new_rel = _new_delta_relation(
+                                head_key, delta_positions
+                            )
+                            new_deltas[head_key] = new_rel
                         new_rel.add(row)
                     else:
                         stats.duplicate_derivations += 1
@@ -353,15 +402,18 @@ def evaluate(
     max_iterations: Optional[int] = None,
     max_facts: Optional[int] = None,
     use_planner: bool = True,
+    plan_cache: Optional[PlanCache] = None,
 ) -> EvaluationResult:
     """Dispatch to a bottom-up strategy by name."""
     if method == "naive":
         return evaluate_naive(
-            program, database, max_iterations, max_facts, use_planner
+            program, database, max_iterations, max_facts, use_planner,
+            plan_cache,
         )
     if method == "seminaive":
         return evaluate_seminaive(
-            program, database, max_iterations, max_facts, use_planner
+            program, database, max_iterations, max_facts, use_planner,
+            plan_cache,
         )
     raise ValueError(f"unknown evaluation method {method!r}")
 

@@ -1,4 +1,4 @@
-"""QSQ-style top-down evaluation of adorned programs.
+"""QSQ-style top-down evaluation of adorned programs, compiled.
 
 This is the reference *sip strategy* of Section 9: starting from the
 query, construct subqueries for every body literal according to the sips
@@ -20,6 +20,55 @@ Theorem 9.1 states that bottom-up evaluation of the generalized magic
 rewrite produces *exactly* the facts corresponding to ``Q`` (the magic
 relations) and ``F`` (the adorned relations); ``repro.core.optimality``
 checks this equivalence experimentally.
+
+Compiled architecture
+---------------------
+
+The default execution path mirrors the bottom-up engine's join planner
+(:mod:`repro.datalog.planner`).  Each adorned rule is compiled **once**
+into a :class:`~repro.datalog.planner.SubqueryPlan`:
+
+* **Slot frames.**  Rule variables are numbered into a flat frame; the
+  inner loops run precompiled ops (store slot / compare slot / match
+  pattern) instead of threading dict :class:`Substitution` copies
+  through every candidate row.
+* **Precomputed bound/free splits.**  Each derived body literal carries
+  its adornment's bound positions as the key of an indexed *answer
+  store* (a :class:`~repro.datalog.database.Relation` per adorned
+  predicate, indexed on those positions), so joining new bindings
+  against accumulated answers is a hash probe, not a scan.  Base
+  literals carry the argument positions ground at plan time, registered
+  on the EDB relations up front so every database access goes through
+  :meth:`Relation.lookup`.
+* **Delta-driven rounds.**  Instead of joining every accumulated
+  ``(rule, bound_vector)`` pair against every accumulated *answer* each
+  global iteration, each round pushes only the deltas: *new subqueries*
+  run against the full answer stores, and *new answers* are joined into
+  the rules of every affected input via one delta variant per derived
+  body occurrence.  This is semi-naive evaluation transplanted to the
+  top-down side.  A residual ``Theta(rounds * |Q|)`` term remains --
+  delta variants replay the accumulated inputs, though each replay is
+  an entry match plus hash probes that mostly miss -- with constants
+  small enough to be invisible next to the join work (see the ROADMAP
+  open item on reverse-joining deltas to their affected inputs).
+* **Plan caching.**  Compiled plans are looked up in the shared
+  :class:`~repro.datalog.planner.PlanCache` keyed by program identity,
+  so benchmark loops and repeated CLI queries stop recompiling;
+  ``QSQResult.plan_cache_hits``/``plan_cache_misses`` report what
+  happened.
+
+``use_planner=False`` selects the legacy interpretive evaluator (dict
+substitutions, full replay).  Both paths produce identical ``Q`` and
+``F`` sets and identical ``subqueries_generated`` (distinct subqueries);
+``iterations`` keeps its meaning -- global propagation rounds until the
+fixpoint -- but the compiled path typically needs fewer of them because
+answers flow as soon as their delta round fires.
+
+Open items noticed while profiling: the round loop is still global (a
+true QSQR scheduler would recurse per subquery and could terminate
+earlier on stratified call graphs), and answer stores are rebuilt per
+evaluation even when the database is unchanged -- a memo keyed by
+(program, database version) would make repeated identical queries O(1).
 """
 
 from __future__ import annotations
@@ -28,10 +77,30 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from .ast import Literal, Program, Query
-from .database import Database, FactTuple
+from .database import Database, FactTuple, Relation
 from .errors import EvaluationError, NonTerminationError
-from .terms import Term
-from .unify import Substitution, match_sequences, resolve, unify_sequences
+from .planner import (
+    PlanCache,
+    SubqueryPlan,
+    SubqueryProgram,
+    subquery_program_for,
+    _CONST,
+    _EQ,
+    _EQC,
+    _EVAL,
+    _MATCH,
+    _SLOT,
+    _STORE,
+    _UNBOUND,
+)
+from .terms import Term, Variable
+from .unify import (
+    Substitution,
+    match_into,
+    match_sequences,
+    resolve,
+    unify_sequences,
+)
 
 __all__ = ["QSQResult", "qsq_evaluate"]
 
@@ -50,6 +119,9 @@ class QSQResult:
     answers: Dict[str, Set[FactTuple]] = field(default_factory=dict)
     iterations: int = 0
     subqueries_generated: int = 0
+    #: plan-cache outcome for this evaluation (compiled path only)
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     def query_count(self) -> int:
         return sum(len(v) for v in self.queries.values())
@@ -58,7 +130,39 @@ class QSQResult:
         return sum(len(v) for v in self.answers.values())
 
     def query_answers(self, query_literal: Literal) -> Set[FactTuple]:
-        """Answer bindings (free positions) for the original query."""
+        """Answer bindings (free positions) for the original query.
+
+        Uses the query's bound/free position split directly: bound
+        positions hold ground terms compared per row; free positions are
+        projected out.  The generic matcher is only consulted when a
+        free position holds something other than a plain variable
+        (which :class:`~repro.datalog.ast.Query` never produces).
+        """
+        rows = self.answers.get(query_literal.pred_key, ())
+        if not rows:
+            return set()
+        bound_checks: List[Tuple[int, Term]] = []
+        free_positions: List[int] = []
+        seen_vars: Set[Term] = set()
+        for i, arg in enumerate(query_literal.args):
+            if arg.is_ground():
+                bound_checks.append((i, arg))
+            else:
+                free_positions.append(i)
+                if not isinstance(arg, Variable) or arg in seen_vars:
+                    # a structured pattern or a repeated variable: fall
+                    # back to the generic matcher for the whole literal
+                    return self._query_answers_generic(query_literal)
+                seen_vars.add(arg)
+        out: Set[FactTuple] = set()
+        for row in rows:
+            if all(row[i] == value for i, value in bound_checks):
+                out.add(tuple(row[i] for i in free_positions))
+        return out
+
+    def _query_answers_generic(
+        self, query_literal: Literal
+    ) -> Set[FactTuple]:
         free_positions = [
             i
             for i, arg in enumerate(query_literal.args)
@@ -77,6 +181,8 @@ def qsq_evaluate(
     query_literal: Literal,
     max_iterations: Optional[int] = None,
     max_facts: Optional[int] = None,
+    use_planner: bool = True,
+    plan_cache: Optional[PlanCache] = None,
 ) -> QSQResult:
     """Evaluate an adorned program top-down, memoizing queries and answers.
 
@@ -84,15 +190,341 @@ def qsq_evaluate(
     (as produced by ``repro.core.adornment.adorn_program(...).program``)
     with rule bodies in sip order.  ``query_literal`` is the adorned
     query, whose ground arguments form the initial subquery.
+
+    ``use_planner`` selects compiled, delta-driven execution (default)
+    or the legacy interpretive evaluator; both compute identical ``Q``
+    and ``F``.  ``plan_cache`` overrides the shared compiled-plan cache
+    (compiled path only).
     """
     derived = adorned_program.derived_predicates()
-    result = QSQResult()
     query_key = query_literal.pred_key
     if query_key not in derived:
         raise EvaluationError(
             f"query predicate {query_key} is not defined by the program"
         )
+    if use_planner:
+        return _qsq_evaluate_compiled(
+            adorned_program,
+            database,
+            query_literal,
+            max_iterations,
+            max_facts,
+            plan_cache,
+        )
+    return _qsq_evaluate_legacy(
+        adorned_program,
+        database,
+        query_literal,
+        derived,
+        max_iterations,
+        max_facts,
+    )
 
+
+# ----------------------------------------------------------------------
+# compiled, delta-driven path
+# ----------------------------------------------------------------------
+
+class _QSQExecutor:
+    """Mutable evaluation state for one compiled QSQ run.
+
+    ``result.queries`` doubles as the subquery dedup store; answers live
+    in per-predicate :class:`Relation` stores indexed on the adornment's
+    bound positions, with parallel per-round delta relations.
+    """
+
+    __slots__ = ("compiled", "database", "result", "answer_rels",
+                 "pending_inputs", "pending_answers", "answer_total")
+
+    def __init__(self, compiled: SubqueryProgram, database: Database,
+                 result: QSQResult):
+        self.compiled = compiled
+        self.database = database
+        self.result = result
+        self.answer_rels: Dict[str, Relation] = {}
+        self.pending_inputs: Dict[str, List[FactTuple]] = {}
+        self.pending_answers: Dict[str, Relation] = {}
+        self.answer_total = 0
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        plan: SubqueryPlan,
+        vectors,
+        delta_depth: Optional[int] = None,
+        delta_rel: Optional[Relation] = None,
+    ) -> None:
+        """Push input bound vectors through one plan (one delta choice)."""
+        frame: List[Optional[Term]] = [None] * plan.n_slots
+        entry_ops = plan.entry_ops
+        for vector in vectors:
+            ok = True
+            for pos, tag, payload in entry_ops:
+                value = vector[pos]
+                if tag == _STORE:
+                    frame[payload] = value
+                elif tag == _CONST:
+                    if payload != value:
+                        ok = False
+                        break
+                elif tag == _EQ:
+                    if frame[payload] != value:
+                        ok = False
+                        break
+                else:  # _MATCH
+                    pattern, bound_pairs, free_pairs = payload
+                    seed: Substitution = {
+                        v: frame[s] for v, s in bound_pairs
+                    }
+                    if not match_into(pattern, value, seed):
+                        ok = False
+                        break
+                    for v, s in free_pairs:
+                        frame[s] = seed[v]
+            if ok:
+                self._run(plan, 0, frame, delta_depth, delta_rel)
+
+    # ------------------------------------------------------------------
+    def _build_key(self, key_ops, frame) -> FactTuple:
+        key = []
+        for tag, payload in key_ops:
+            if tag == _SLOT:
+                key.append(frame[payload])
+            elif tag == _CONST:
+                key.append(payload)
+            else:  # _EVAL
+                term, pairs = payload
+                key.append(resolve(term, {v: frame[s] for v, s in pairs}))
+        return tuple(key)
+
+    def _run(self, plan, depth, frame, delta_depth, delta_rel) -> None:
+        steps = plan.steps
+        if depth == len(steps):
+            self._emit(plan, frame)
+            return
+        step = steps[depth]
+        if step.is_derived:
+            pred = step.pred_key
+            key = self._build_key(step.key_ops, frame)
+            if step.maybe_unground and not all(
+                t.is_ground() for t in key
+            ):
+                self._run_generic(plan, depth, frame, delta_depth,
+                                  delta_rel)
+                return
+            inputs = self.result.queries.setdefault(pred, set())
+            if key not in inputs:
+                inputs.add(key)
+                self.result.subqueries_generated += 1
+                self.pending_inputs.setdefault(pred, []).append(key)
+            if delta_depth == depth:
+                relation = delta_rel
+            else:
+                relation = self.answer_rels.get(pred)
+            if relation is None or len(relation) == 0:
+                return
+            rows = relation.lookup(step.lookup_positions, key)
+            if step.self_recursive and delta_depth != depth:
+                # emission extends the very bucket being probed; snapshot
+                # it so the scan sees the store as of probe time (new
+                # answers flow through the next round's delta instead)
+                rows = list(rows)
+        else:
+            relation = self.database.get(step.pred_key)
+            if relation is None or len(relation) == 0:
+                return
+            key = self._build_key(step.key_ops, frame)
+            rows = relation.lookup(step.lookup_positions, key)
+        row_ops = step.row_ops
+        next_depth = depth + 1
+        for row in rows:
+            ok = True
+            for pos, tag, payload in row_ops:
+                value = row[pos]
+                if tag == _STORE:
+                    frame[payload] = value
+                elif tag == _EQ:
+                    if frame[payload] != value:
+                        ok = False
+                        break
+                elif tag == _EQC:
+                    if payload != value:
+                        ok = False
+                        break
+                else:  # _MATCH
+                    pattern, bound_pairs, free_pairs = payload
+                    seed = {v: frame[s] for v, s in bound_pairs}
+                    if not match_into(pattern, value, seed):
+                        ok = False
+                        break
+                    for v, s in free_pairs:
+                        frame[s] = seed[v]
+            if ok:
+                self._run(plan, next_depth, frame, delta_depth, delta_rel)
+
+    def _run_generic(self, plan, depth, frame, delta_depth,
+                     delta_rel) -> None:
+        """Slow path for a derived step whose subquery key is not ground.
+
+        Mirrors the legacy evaluator: no subquery is generated, and the
+        literal's resolved pattern is matched against every stored
+        answer (new bindings written back into the frame).
+        """
+        step = plan.steps[depth]
+        bound_pairs, free_pairs = step.generic_pairs
+        subst: Substitution = {v: frame[s] for v, s in bound_pairs}
+        resolved = tuple(
+            resolve(arg, subst) for arg in step.literal.args
+        )
+        pred = step.pred_key
+        self.result.queries.setdefault(pred, set())
+        if delta_depth == depth:
+            relation = delta_rel
+        else:
+            relation = self.answer_rels.get(pred)
+        if relation is None or len(relation) == 0:
+            return
+        next_depth = depth + 1
+        for row in list(relation):
+            binding = match_sequences(resolved, row)
+            if binding is None:
+                continue
+            for v, s in free_pairs:
+                frame[s] = resolve(v, binding)
+            self._run(plan, next_depth, frame, delta_depth, delta_rel)
+
+    # ------------------------------------------------------------------
+    def _emit(self, plan, frame) -> None:
+        args = []
+        for tag, payload in plan.head_ops:
+            if tag == _SLOT:
+                args.append(frame[payload])
+            elif tag == _CONST:
+                args.append(payload)
+            elif tag == _EVAL:
+                term, pairs = payload
+                value = resolve(term, {v: frame[s] for v, s in pairs})
+                if not value.is_ground():
+                    return
+                args.append(value)
+            else:  # _UNBOUND: the row can never be ground; skip it
+                return
+        row = tuple(args)
+        pred = plan.head_key
+        relation = self.answer_rels.get(pred)
+        if relation is None:
+            relation = self._new_answer_relation(pred)
+            self.answer_rels[pred] = relation
+        if relation.add(row):
+            self.answer_total += 1
+            delta = self.pending_answers.get(pred)
+            if delta is None:
+                delta = self._new_answer_relation(pred)
+                self.pending_answers[pred] = delta
+            delta.add(row)
+
+    def _new_answer_relation(self, pred: str) -> Relation:
+        relation = Relation(pred)
+        positions = self.compiled.bound_positions.get(pred)
+        if positions:
+            relation.register_index(positions)
+        return relation
+
+
+def _qsq_evaluate_compiled(
+    adorned_program: Program,
+    database: Database,
+    query_literal: Literal,
+    max_iterations: Optional[int],
+    max_facts: Optional[int],
+    plan_cache: Optional[PlanCache],
+) -> QSQResult:
+    compiled, cache_hit = subquery_program_for(adorned_program, plan_cache)
+    compiled.register_indexes(database)
+    result = QSQResult()
+    if cache_hit:
+        result.plan_cache_hits = 1
+    else:
+        result.plan_cache_misses = 1
+    executor = _QSQExecutor(compiled, database, result)
+
+    query_key = query_literal.pred_key
+    seed = tuple(arg for arg in query_literal.args if arg.is_ground())
+    result.queries.setdefault(query_key, set()).add(seed)
+    result.subqueries_generated += 1
+    executor.pending_inputs = {query_key: [seed]}
+
+    answer_deltas: Dict[str, Relation] = {}
+    while executor.pending_inputs or answer_deltas:
+        result.iterations += 1
+        if max_iterations is not None and result.iterations > max_iterations:
+            raise NonTerminationError(
+                f"QSQ evaluation exceeded {max_iterations} iterations",
+                iterations=result.iterations,
+                facts=executor.answer_total,
+            )
+        new_inputs = executor.pending_inputs
+        executor.pending_inputs = {}
+        executor.pending_answers = {}
+
+        # variant 1: new subqueries against the full answer stores
+        for pred, vectors in new_inputs.items():
+            for plan in compiled.plans_by_head.get(pred, ()):
+                executor.execute(plan, vectors)
+
+        # variant 2: per derived body occurrence, previous-round answer
+        # deltas against every other accumulated input (the new inputs
+        # just ran against the full stores, which contain the deltas).
+        # Inputs generated while these variants run are complete next
+        # round via variant 1, so one snapshot per plan suffices.
+        for plan in compiled.plans:
+            active = [
+                (depth, answer_deltas.get(plan.steps[depth].pred_key))
+                for depth in plan.derived_steps
+            ]
+            active = [(d, rel) for d, rel in active if rel]
+            if not active:
+                continue
+            inputs = result.queries.get(plan.head_key)
+            if not inputs:
+                continue
+            fresh = new_inputs.get(plan.head_key)
+            if fresh:
+                fresh_set = set(fresh)
+                vectors = [v for v in inputs if v not in fresh_set]
+            else:
+                vectors = list(inputs)
+            if not vectors:
+                continue
+            for depth, delta_rel in active:
+                executor.execute(plan, vectors, depth, delta_rel)
+
+        answer_deltas = executor.pending_answers
+        if max_facts is not None and executor.answer_total > max_facts:
+            raise NonTerminationError(
+                f"QSQ evaluation exceeded {max_facts} facts",
+                iterations=result.iterations,
+                facts=executor.answer_total,
+            )
+    for pred, relation in executor.answer_rels.items():
+        result.answers[pred] = set(relation)
+    return result
+
+
+# ----------------------------------------------------------------------
+# legacy interpretive path
+# ----------------------------------------------------------------------
+
+def _qsq_evaluate_legacy(
+    adorned_program: Program,
+    database: Database,
+    query_literal: Literal,
+    derived: Set[str],
+    max_iterations: Optional[int],
+    max_facts: Optional[int],
+) -> QSQResult:
+    result = QSQResult()
+    query_key = query_literal.pred_key
     seed = tuple(arg for arg in query_literal.args if arg.is_ground())
     result.queries.setdefault(query_key, set()).add(seed)
     result.subqueries_generated += 1

@@ -1,0 +1,489 @@
+"""The compiled QSQ evaluator: equivalence, plan cache, delta indexes.
+
+Three layers of guarantees:
+
+* the compiled, delta-driven ``qsq_evaluate`` computes exactly the
+  legacy evaluator's ``Q``/``F`` sets (same dicts, same
+  ``subqueries_generated``) across workloads, sip families, and random
+  databases (hypothesis);
+* per Theorem 9.1, both execution paths match bottom-up magic
+  evaluation (``check_optimality``);
+* the infrastructure rides along: the shared :class:`PlanCache` stops
+  recompilation (visible through evaluation stats), semi-naive delta
+  relations are pre-indexed for constant-carrying delta literals, and
+  :meth:`Relation.add_many` keeps indexes consistent on its bulk path.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CompiledProgram,
+    Constant,
+    Database,
+    Literal,
+    PlanCache,
+    Relation,
+    Variable,
+    adorn_program,
+    answer_query,
+    build_chain_sip,
+    build_empty_sip,
+    build_full_sip,
+    check_optimality,
+    evaluate_seminaive,
+    parse_program,
+    qsq_evaluate,
+    rewrite,
+    subquery_program_for,
+)
+from repro.workloads import (
+    ancestor_program,
+    ancestor_query,
+    chain_database,
+    cycle_database,
+    integer_list,
+    list_reverse_program,
+    nonlinear_ancestor_program,
+    nonlinear_samegen_program,
+    random_dag_database,
+    reverse_query,
+    samegen_database,
+    samegen_query,
+)
+
+
+def c(value):
+    return Constant(value)
+
+
+def run_both(program, query, db, sip_builder=build_full_sip, **kwargs):
+    adorned = adorn_program(program, query, sip_builder)
+    legacy = qsq_evaluate(
+        adorned.program, db, adorned.query_literal,
+        use_planner=False, **kwargs
+    )
+    compiled = qsq_evaluate(
+        adorned.program, db, adorned.query_literal,
+        use_planner=True, **kwargs
+    )
+    return adorned, legacy, compiled
+
+
+def assert_same_qf(adorned, legacy, compiled):
+    assert compiled.queries == legacy.queries
+    assert compiled.answers == legacy.answers
+    assert compiled.subqueries_generated == legacy.subqueries_generated
+    assert compiled.query_answers(adorned.query_literal) == (
+        legacy.query_answers(adorned.query_literal)
+    )
+
+
+# ----------------------------------------------------------------------
+# legacy vs compiled equivalence
+# ----------------------------------------------------------------------
+
+WORKLOADS = [
+    ("anc-chain", ancestor_program, lambda: ancestor_query("n0"),
+     lambda: chain_database(12)),
+    ("anc-cycle", ancestor_program, lambda: ancestor_query("n0"),
+     lambda: cycle_database(7)),
+    ("nl-anc-dag", nonlinear_ancestor_program, lambda: ancestor_query("n0"),
+     lambda: random_dag_database(14, 0.25, seed=11)),
+    ("samegen", nonlinear_samegen_program, lambda: samegen_query("L0_0"),
+     lambda: samegen_database(3, 4, flat_edges=5)),
+]
+
+
+class TestCompiledEquivalence:
+    @pytest.mark.parametrize(
+        "name,make_program,make_query,make_db", WORKLOADS,
+        ids=[w[0] for w in WORKLOADS],
+    )
+    def test_workloads(self, name, make_program, make_query, make_db):
+        adorned, legacy, compiled = run_both(
+            make_program(), make_query(), make_db()
+        )
+        assert_same_qf(adorned, legacy, compiled)
+
+    @pytest.mark.parametrize(
+        "sip_builder", [build_full_sip, build_chain_sip, build_empty_sip],
+        ids=["full", "chain", "empty"],
+    )
+    def test_sip_families(self, sip_builder):
+        adorned, legacy, compiled = run_both(
+            nonlinear_samegen_program(),
+            samegen_query("L0_0"),
+            samegen_database(3, 3, flat_edges=4),
+            sip_builder=sip_builder,
+        )
+        assert_same_qf(adorned, legacy, compiled)
+
+    def test_function_symbols_list_reverse(self):
+        adorned, legacy, compiled = run_both(
+            list_reverse_program(), reverse_query(integer_list(5)),
+            Database(),
+        )
+        assert_same_qf(adorned, legacy, compiled)
+        answers = compiled.query_answers(adorned.query_literal)
+        assert len(answers) == 1
+
+    def test_constant_in_rule_body(self):
+        # a derived body literal carrying a constant at a free position
+        # exercises the _EQC row op (the answer index only covers the
+        # adornment's bound positions)
+        program = parse_program(
+            """
+            p(X, Y) :- e(X, Y).
+            p(X, Y) :- p(X, two), e(two, Y).
+            """
+        ).program
+        db = Database()
+        db.add_values("e", [("one", "two"), ("two", "three")])
+        from repro import parse_query
+
+        adorned, legacy, compiled = run_both(
+            program, parse_query("p(one, Y)?"), db
+        )
+        assert_same_qf(adorned, legacy, compiled)
+        assert compiled.query_answers(adorned.query_literal) == {
+            (c("two"),), (c("three"),),
+        }
+
+    def test_budgets_preserved(self):
+        from repro import NonTerminationError, parse_query
+
+        program = parse_program(
+            """
+            s(X, Y) :- base(X, Y).
+            s(X, [a | Y]) :- s(X, Y).
+            """
+        ).program
+        db = Database()
+        db.add_values("base", [("q", "nil")])
+        adorned = adorn_program(program, parse_query("s(q, Y)?"))
+        for use_planner in (False, True):
+            with pytest.raises(NonTerminationError):
+                qsq_evaluate(
+                    adorned.program, db, adorned.query_literal,
+                    max_iterations=25, use_planner=use_planner,
+                )
+            with pytest.raises(NonTerminationError):
+                qsq_evaluate(
+                    adorned.program, db, adorned.query_literal,
+                    max_facts=10, use_planner=use_planner,
+                )
+
+    def test_unbound_bound_position_falls_back(self):
+        # hand-built adorned rule whose bound position the sip never
+        # binds: both paths must agree (and derive nothing, since no
+        # ground subquery for q^b can ever be issued)
+        from repro.datalog.ast import Program, Rule
+
+        x, y = Variable("X"), Variable("Y")
+        program = Program([
+            Rule(Literal("p", (x,), "f"),
+                 [Literal("q", (y,), "b"), Literal("e", (x,))]),
+            Rule(Literal("q", (y,), "b"), [Literal("f", (y,))]),
+        ])
+        db = Database()
+        db.add_values("e", [("a",)])
+        db.add_values("f", [("b",)])
+        query = Literal("p", (Variable("Z"),), "f")
+        legacy = qsq_evaluate(program, db, query, use_planner=False)
+        compiled = qsq_evaluate(program, db, query, use_planner=True)
+        assert compiled.answers == legacy.answers
+        assert compiled.queries == legacy.queries
+
+
+# ----------------------------------------------------------------------
+# Theorem 9.1 against bottom-up magic
+# ----------------------------------------------------------------------
+
+class TestTheorem91:
+    @pytest.mark.parametrize("use_planner", [False, True],
+                             ids=["legacy", "compiled"])
+    def test_ancestor(self, use_planner):
+        program = ancestor_program()
+        query = ancestor_query("n0")
+        db = chain_database(10)
+        rewritten = rewrite(program, query, method="magic")
+        report = check_optimality(rewritten, db, use_planner=use_planner)
+        assert report.sip_optimal, report.mismatches
+
+    @pytest.mark.parametrize("use_planner", [False, True],
+                             ids=["legacy", "compiled"])
+    def test_samegen(self, use_planner):
+        program = nonlinear_samegen_program()
+        query = samegen_query("L0_0")
+        db = samegen_database(3, 3, flat_edges=4)
+        rewritten = rewrite(program, query, method="magic")
+        report = check_optimality(rewritten, db, use_planner=use_planner)
+        assert report.sip_optimal, report.mismatches
+
+
+# ----------------------------------------------------------------------
+# property tests: compiled == legacy == bottom-up magic
+# ----------------------------------------------------------------------
+
+NODES = [f"v{i}" for i in range(7)]
+
+edges_strategy = st.lists(
+    st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)),
+    min_size=0,
+    max_size=20,
+)
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def edge_db(edges, relation="par"):
+    db = Database()
+    db.add_values(relation, set(edges))
+    return db
+
+
+class TestQSQProperty:
+    @given(edges=edges_strategy, root=st.sampled_from(NODES))
+    @SETTINGS
+    def test_linear_ancestor(self, edges, root):
+        adorned, legacy, compiled = run_both(
+            ancestor_program(), ancestor_query(root), edge_db(edges)
+        )
+        assert_same_qf(adorned, legacy, compiled)
+
+    @given(edges=edges_strategy, root=st.sampled_from(NODES))
+    @SETTINGS
+    def test_nonlinear_ancestor(self, edges, root):
+        adorned, legacy, compiled = run_both(
+            nonlinear_ancestor_program(), ancestor_query(root),
+            edge_db(edges),
+        )
+        assert_same_qf(adorned, legacy, compiled)
+
+    @given(edges=edges_strategy, root=st.sampled_from(NODES))
+    @SETTINGS
+    def test_matches_bottom_up_magic(self, edges, root):
+        program = ancestor_program()
+        query = ancestor_query(root)
+        db = edge_db(edges)
+        rewritten = rewrite(program, query, method="magic")
+        for use_planner in (False, True):
+            report = check_optimality(
+                rewritten, db, use_planner=use_planner
+            )
+            assert report.sip_optimal, report.mismatches
+
+
+# ----------------------------------------------------------------------
+# plan cache
+# ----------------------------------------------------------------------
+
+class TestPlanCache:
+    def test_bottom_up_reuses_plans(self):
+        cache = PlanCache()
+        program = ancestor_program()
+        db = chain_database(6)
+        first = evaluate_seminaive(program, db, plan_cache=cache)
+        second = evaluate_seminaive(program, db, plan_cache=cache)
+        assert first.stats.plan_cache_misses == 1
+        assert first.stats.plan_cache_hits == 0
+        assert second.stats.plan_cache_hits == 1
+        assert second.stats.plan_cache_misses == 0
+        assert second.derived_tuples("anc") == first.derived_tuples("anc")
+
+    def test_qsq_reuses_plans(self):
+        cache = PlanCache()
+        adorned = adorn_program(ancestor_program(), ancestor_query("n0"))
+        db = chain_database(6)
+        first = qsq_evaluate(
+            adorned.program, db, adorned.query_literal, plan_cache=cache
+        )
+        second = qsq_evaluate(
+            adorned.program, db, adorned.query_literal, plan_cache=cache
+        )
+        assert first.plan_cache_misses == 1
+        assert second.plan_cache_hits == 1
+        assert second.answers == first.answers
+
+    def test_structural_identity_shares_entries(self):
+        # two parses of the same source hash equal -> one compilation
+        cache = PlanCache()
+        source = "anc(X, Y) :- par(X, Y). anc(X, Y) :- par(X, Z), anc(Z, Y)."
+        p1 = parse_program(source).program
+        p2 = parse_program(source).program
+        assert p1 is not p2
+        db = chain_database(4)
+        evaluate_seminaive(p1, db, plan_cache=cache)
+        second = evaluate_seminaive(p2, db, plan_cache=cache)
+        assert second.stats.plan_cache_hits == 1
+
+    def test_kinds_do_not_collide(self):
+        cache = PlanCache()
+        adorned = adorn_program(ancestor_program(), ancestor_query("n0"))
+        db = chain_database(4)
+        qsq_evaluate(
+            adorned.program, db, adorned.query_literal, plan_cache=cache
+        )
+        result = evaluate_seminaive(
+            adorned.program, db, plan_cache=cache
+        )
+        # same program, different compilation kind: a miss, not a hit
+        assert result.stats.plan_cache_misses == 1
+        assert len(cache) == 2
+
+    def test_eviction_bound(self):
+        cache = PlanCache(maxsize=2)
+        programs = [
+            parse_program(f"p{i}(X) :- e(X).").program for i in range(4)
+        ]
+        for program in programs:
+            subquery_program_for(program, cache)
+        assert len(cache) == 2
+        # least recently used entries were evicted: recompiling the
+        # first program misses again
+        _, hit = subquery_program_for(programs[0], cache)
+        assert not hit
+
+    def test_shared_cache_is_default(self):
+        from repro import shared_plan_cache
+
+        program = parse_program("zz_unique(X) :- e(X).").program
+        db = Database()
+        db.add_values("e", [("a",)])
+        cache = shared_plan_cache()
+        first = evaluate_seminaive(program, db)
+        second = evaluate_seminaive(program, db)
+        assert first.stats.plan_cache_hits + first.stats.plan_cache_misses == 1
+        assert second.stats.plan_cache_hits == 1
+
+
+# ----------------------------------------------------------------------
+# semi-naive delta indexes
+# ----------------------------------------------------------------------
+
+class TestDeltaIndexes:
+    def test_constant_carrying_delta_literal_is_indexed(self):
+        program = parse_program(
+            """
+            r(X) :- s(X).
+            r(X) :- r(a), t(X).
+            """
+        ).program
+        compiled = CompiledProgram(program)
+        assert compiled.delta_index_positions() == {"r": ((0,),)}
+
+    def test_variable_only_delta_literals_need_no_index(self):
+        compiled = CompiledProgram(ancestor_program())
+        assert compiled.delta_index_positions() == {}
+
+    def test_evaluation_unchanged(self):
+        program = parse_program(
+            """
+            r(X) :- s(X).
+            r(X) :- r(a), t(X).
+            """
+        ).program
+        db = Database()
+        db.add_values("s", [("a",), ("b",)])
+        db.add_values("t", [("c",), ("d",)])
+        legacy = evaluate_seminaive(program, db, use_planner=False)
+        planned = evaluate_seminaive(program, db, use_planner=True)
+        assert planned.derived_tuples("r") == legacy.derived_tuples("r")
+        assert planned.derived_tuples("r") == {
+            (c("a"),), (c("b",),), (c("c"),), (c("d"),),
+        }
+
+
+# ----------------------------------------------------------------------
+# Relation.add_many bulk path
+# ----------------------------------------------------------------------
+
+class TestAddManyBulk:
+    def rows(self, n, offset=0):
+        return [(c(i + offset), c(i + offset + 1)) for i in range(n)]
+
+    def test_counts_and_dedup(self):
+        rel = Relation("e")
+        assert rel.add_many(self.rows(10)) == 10
+        # 5 duplicates, 5 new
+        assert rel.add_many(self.rows(10, offset=5)) == 5
+        assert len(rel) == 15
+
+    def test_intra_batch_duplicates(self):
+        rel = Relation("e")
+        assert rel.add_many(self.rows(3) + self.rows(3)) == 3
+
+    def test_validation_before_mutation(self):
+        rel = Relation("e")
+        rel.add_many(self.rows(3))
+        bad = self.rows(2) + [(c(99),)]  # arity mismatch at the end
+        with pytest.raises(ValueError):
+            rel.add_many(bad)
+        # the bulk path validates up front: nothing from the batch landed
+        assert len(rel) == 3
+        with pytest.raises(ValueError):
+            rel.add_many([(Variable("X"), c(1))])
+        assert len(rel) == 3
+
+    def test_index_consistency_small_batch(self):
+        rel = Relation("e")
+        rel.add_many(self.rows(40))
+        rel.register_index((0,))
+        rel.add_many(self.rows(5, offset=100))
+        assert rel.lookup((0,), (c(100),)) == [(c(100), c(101))]
+        assert rel.lookup((0,), (c(3),)) == [(c(3), c(4))]
+
+    def test_index_consistency_dominating_batch(self):
+        rel = Relation("e")
+        rel.add_many(self.rows(3))
+        rel.register_index((1,))
+        rel.add_many(self.rows(50, offset=200))
+        assert rel.lookup((1,), (c(201),)) == [(c(200), c(201))]
+        assert rel.lookup((1,), (c(1),)) == [(c(0), c(1))]
+        # no duplicated bucket entries for pre-existing rows
+        assert sum(len(rel.lookup((1,), (c(i + 1),))) for i in range(3)) == 3
+        # overlapping re-insert leaves buckets duplicate-free
+        rel.add_many(self.rows(50, offset=200))
+        assert rel.lookup((1,), (c(201),)) == [(c(200), c(201))]
+
+    def test_empty_batch(self):
+        rel = Relation("e")
+        assert rel.add_many([]) == 0
+
+
+# ----------------------------------------------------------------------
+# QSQResult.query_answers
+# ----------------------------------------------------------------------
+
+class TestQueryAnswers:
+    def test_indexed_filter_matches_generic(self):
+        adorned, legacy, compiled = run_both(
+            ancestor_program(), ancestor_query("n0"), chain_database(8)
+        )
+        fast = compiled.query_answers(adorned.query_literal)
+        generic = compiled._query_answers_generic(adorned.query_literal)
+        assert fast == generic
+        assert fast == legacy.query_answers(adorned.query_literal)
+
+    def test_repeated_variable_falls_back(self):
+        from repro.datalog.topdown import QSQResult
+
+        x = Variable("X")
+        result = QSQResult(
+            answers={"p^ff": {(c(1), c(1)), (c(1), c(2))}}
+        )
+        literal = Literal("p", (x, x), "ff")
+        assert result.query_answers(literal) == {(c(1), c(1))}
+
+    def test_no_answers(self):
+        from repro.datalog.topdown import QSQResult
+
+        result = QSQResult()
+        literal = Literal("p", (Variable("X"),), "f")
+        assert result.query_answers(literal) == set()
