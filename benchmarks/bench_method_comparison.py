@@ -22,7 +22,6 @@ interpreter overhead.  ``QSQ_BENCH_DEPTH`` shrinks it for CI smoke.
 import os
 import time
 
-import pytest
 
 from repro import (
     NonTerminationError,

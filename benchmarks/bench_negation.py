@@ -1,0 +1,176 @@
+"""Stratified negation on the bill-of-materials workload family.
+
+Not a paper artifact: the paper's programs are positive.  This bench
+pins down the stratified-negation subsystem instead -- the BOM program
+(4 strata, 3 negations, recursive explosion below the negations) runs
+through all four bottom-up configurations:
+
+* naive / legacy join      -- the stratum-wise naive reference oracle
+  (no planner, no deltas: just each stratum to its fixpoint in rounds);
+* naive / compiled plans   -- anti-join steps, same fixpoint;
+* semi-naive / legacy join -- per-stratum deltas, interpretive join;
+* semi-naive / compiled    -- the default production path.
+
+All four must derive identical relations for every stratum; the bench
+asserts that (the correctness oracle) and reports per-engine wall
+clocks.  ``BOM_BENCH_DEPTH`` / ``BOM_BENCH_FANOUT`` / ``BOM_BENCH_RATE``
+shrink or grow the part tree; the wall-clock gate (semi-naive compiled
+beats the naive reference) only arms at depth >= 8 and honors
+``BENCH_TIMING_STRICT=0`` for noisy CI runners.
+"""
+
+import os
+import time
+
+from repro import evaluate
+from repro.workloads import bom_database, bom_program
+
+from conftest import print_table, record_bench
+
+DEPTH = int(os.environ.get("BOM_BENCH_DEPTH", "9"))
+FANOUT = int(os.environ.get("BOM_BENCH_FANOUT", "2"))
+RATE = float(os.environ.get("BOM_BENCH_RATE", "0.08"))
+SEED = int(os.environ.get("BOM_BENCH_SEED", "0"))
+MIN_SPEEDUP = 1.5
+
+DERIVED = ("component", "tainted", "clean", "blocked", "buildable")
+
+ENGINES = (
+    ("naive-legacy", "naive", False),
+    ("naive-compiled", "naive", True),
+    ("seminaive-legacy", "seminaive", False),
+    ("seminaive-compiled", "seminaive", True),
+)
+
+
+def run_all(database, program):
+    """Evaluate every engine configuration; return per-engine results."""
+    out = []
+    for label, method, use_planner in ENGINES:
+        start = time.perf_counter()
+        result = evaluate(
+            program, database, method=method, use_planner=use_planner
+        )
+        seconds = time.perf_counter() - start
+        out.append((label, result, seconds))
+    return out
+
+
+def assert_oracle_agreement(runs):
+    """Every engine must match the stratum-wise naive reference."""
+    oracle_label, oracle, _ = runs[0]
+    assert oracle_label == "naive-legacy"
+    for label, result, _ in runs[1:]:
+        for pred in DERIVED:
+            assert result.database.tuples(pred) == oracle.database.tuples(
+                pred
+            ), f"{label} disagrees with {oracle_label} on {pred}"
+
+
+def test_bom_engines_agree(benchmark):
+    """Four engine configurations, one answer; compiled semi-naive wins."""
+    program = bom_program()
+    database = bom_database(DEPTH, FANOUT, RATE, SEED)
+    runs = run_all(database, program)
+    assert_oracle_agreement(runs)
+
+    oracle = runs[0][1]
+    counts = {pred: len(oracle.database.tuples(pred)) for pred in DERIVED}
+    assert counts["component"] > 0
+    # the negation actually bites: clean is a strict subset on any
+    # seed that produced at least one exception
+    if len(oracle.database.tuples("exception")) > 0:
+        assert counts["clean"] < counts["component"]
+
+    seconds = {label: s for label, _, s in runs}
+    record_bench(
+        {
+            "workload": {
+                "family": "bom",
+                "depth": DEPTH,
+                "fanout": FANOUT,
+                "exception_rate": RATE,
+                "seed": SEED,
+            },
+            "tuple_counts": dict(
+                counts,
+                subpart=len(database.tuples("subpart")),
+                exception=len(database.tuples("exception")),
+            ),
+            "wall_clock_seconds": {
+                label: round(s, 6) for label, s in seconds.items()
+            },
+        }
+    )
+    print_table(
+        f"stratified BOM: depth={DEPTH} fanout={FANOUT} rate={RATE}",
+        ["engine", "facts", "iterations", "probes", "seconds"],
+        [
+            [
+                label,
+                result.stats.facts_derived,
+                result.stats.iterations,
+                result.stats.join_probes,
+                f"{s:.3f}",
+            ]
+            for label, result, s in runs
+        ],
+    )
+
+    strict = os.environ.get("BENCH_TIMING_STRICT", "1") != "0"
+    if strict and DEPTH >= 8:
+        speedup = seconds["naive-legacy"] / max(
+            seconds["seminaive-compiled"], 1e-9
+        )
+        assert speedup >= MIN_SPEEDUP, (
+            f"compiled semi-naive only {speedup:.1f}x faster than the "
+            f"naive reference at depth {DEPTH}"
+        )
+    benchmark(
+        lambda: evaluate(
+            program, database, method="seminaive", use_planner=True
+        )
+    )
+
+
+def test_exception_rate_monotonicity(benchmark):
+    """More exceptions: tainted grows, clean and buildable shrink.
+
+    With one seed the RNG draws are identical across rates, so a higher
+    threshold yields a superset of exceptions -- making the derived
+    relations provably monotone in the rate.  This is a pure-semantics
+    check on the anti-joins; timing is incidental.
+    """
+    program = bom_program()
+    depth = min(DEPTH, 6)
+    rows = []
+    previous = None
+    for rate in (0.0, 0.1, 0.3):
+        database = bom_database(depth, FANOUT, rate, SEED)
+        result = evaluate(program, database, method="seminaive")
+        counts = {
+            pred: len(result.database.tuples(pred)) for pred in DERIVED
+        }
+        counts["exception"] = len(database.tuples("exception"))
+        rows.append(
+            [rate, counts["exception"], counts["tainted"],
+             counts["clean"], counts["buildable"]]
+        )
+        if rate == 0.0:
+            # negation-free baseline: nothing tainted, nothing blocked
+            assert counts["tainted"] == 0
+            assert counts["clean"] == counts["component"]
+            assert counts["blocked"] == 0
+            assert counts["buildable"] == len(database.tuples("part"))
+        if previous is not None:
+            assert counts["tainted"] >= previous["tainted"]
+            assert counts["clean"] <= previous["clean"]
+            assert counts["buildable"] <= previous["buildable"]
+        previous = counts
+    print_table(
+        f"exception-rate sweep: depth={depth} fanout={FANOUT}",
+        ["rate", "exceptions", "tainted", "clean", "buildable"],
+        rows,
+    )
+    database = bom_database(depth, FANOUT, 0.1, SEED)
+    benchmark(lambda: evaluate(program, database, method="seminaive"))

@@ -18,7 +18,6 @@ smoke runs; the >= 3x wall-clock assertion only applies at depth >= 100
 import os
 import time
 
-import pytest
 
 from repro import adorn_program, qsq_evaluate
 from repro.workloads import (

@@ -8,7 +8,6 @@ Dynamic: the certified-diverging cases actually overrun a fact budget;
 the certified-safe cases terminate.
 """
 
-import pytest
 
 from repro import (
     NonTerminationError,

@@ -61,8 +61,11 @@ from .datalog import (
     Rule,
     SafetyError,
     SipValidationError,
+    StratificationError,
     Struct,
     Term,
+    UnsafeNegationError,
+    UnsupportedProgramError,
     Variable,
     WellFormednessError,
     answer_tuples,
@@ -91,6 +94,7 @@ from .core import (
     QueryAnswer,
     REWRITE_METHODS,
     RewrittenProgram,
+    Stratification,
     adorn_program,
     answer_query,
     bottom_up_answer,
@@ -98,15 +102,20 @@ from .core import (
     build_empty_sip,
     build_full_sip,
     check_optimality,
+    check_safe_negation,
+    check_stratified,
     compare_sips,
     counting_rewrite,
     counting_safety,
+    is_stratified,
     lemma_8_1_prune,
     lemma_8_2_anonymize,
     magic_rewrite,
     magic_safety,
+    negation_safety,
     rewrite,
     semijoin_optimize,
+    stratify,
     supplementary_counting_rewrite,
     supplementary_magic_rewrite,
     unwrap_values,
@@ -134,6 +143,7 @@ __all__ = [
     "ReproError", "ParseError", "WellFormednessError", "ConnectivityError",
     "SipValidationError", "AdornmentError", "EvaluationError",
     "NonTerminationError", "SafetyError", "RewriteError",
+    "StratificationError", "UnsafeNegationError", "UnsupportedProgramError",
     # core
     "AdornedProgram", "adorn_program",
     "build_full_sip", "build_chain_sip", "build_empty_sip",
@@ -141,6 +151,8 @@ __all__ = [
     "counting_rewrite", "supplementary_counting_rewrite",
     "semijoin_optimize", "lemma_8_1_prune", "lemma_8_2_anonymize",
     "magic_safety", "counting_safety",
+    "negation_safety", "check_safe_negation",
+    "Stratification", "stratify", "is_stratified", "check_stratified",
     "check_optimality", "compare_sips",
     "rewrite", "answer_query", "bottom_up_answer", "unwrap_values",
     "RewrittenProgram", "QueryAnswer", "REWRITE_METHODS",

@@ -12,28 +12,38 @@ Commands
     python -m repro query program.dl --query "anc(john, Y)?" --method magic
 
 ``adorn``     print the adorned program P^ad
-``safety``    print the Section 10 safety verdicts
+``safety``    print the Section 10 safety verdicts (plus the safe-negation
+              and stratification verdicts when the program uses ``not``)
 ``explain``   answer a query and print one derivation tree per answer
+``workload``  generate a synthetic workload as a .dl file on stdout
+    python -m repro workload bom --depth 5 --fanout 2 \
+        --exception-rate 0.15 --seed 7 > bom.dl
 
 The program file uses the surface syntax of ``repro.datalog.parser``:
 rules, ground facts, ``%`` comments, and optionally queries (a query
-given with --query overrides queries in the file).
+given with --query overrides queries in the file).  Body literals may be
+negated (``not p(X)`` or ``\\+ p(X)``); such programs evaluate under the
+stratified semantics with ``--method naive`` or ``--method seminaive``,
+while the rewrite methods and ``qsq`` are positive-only and report an
+error.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from .core.adornment import adorn_program
 from .core.pipeline import REWRITE_METHODS, answer_query, rewrite
-from .core.safety import counting_safety, magic_safety
+from .core.safety import counting_safety, magic_safety, negation_safety
+from .core.stratify import stratify
 from .core.sips import build_chain_sip, build_empty_sip, build_full_sip
-from .datalog.ast import Program, Query
 from .datalog.database import Database
 from .datalog.errors import ReproError
 from .datalog.parser import parse_program, parse_query
+from .workloads.bom import bom_source
 
 __all__ = ["main", "build_parser"]
 
@@ -52,6 +62,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Magic-sets rewriting for recursive queries "
         "(Beeri & Ramakrishnan, 'On the Power of Magic').",
+        epilog="Programs may negate body literals -- 'not p(X)' or "
+        "'\\+ p(X)' -- under the stratified semantics: the bottom-up "
+        "baselines (query --method naive/seminaive) evaluate stratum by "
+        "stratum with anti-joins, while the rewrite methods and qsq are "
+        "positive-only and report an error for such programs.  Negation "
+        "must be safe: every negated variable needs a positive binder in "
+        "the same rule.  Try: repro workload bom | repro query "
+        "/dev/stdin --method seminaive",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -75,7 +93,9 @@ def build_parser() -> argparse.ArgumentParser:
                 choices=REWRITE_METHODS + _BASELINE_METHODS,
                 default="supplementary_magic",
                 help="rewrite method, or a baseline: plain bottom-up "
-                "(naive/seminaive) or top-down qsq",
+                "(naive/seminaive) or top-down qsq; programs using "
+                "negation require naive/seminaive (stratified "
+                "evaluation), the other methods reject them",
             )
             p.add_argument(
                 "--mode",
@@ -136,6 +156,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument(
         "--limit", type=int, default=3,
         help="maximum number of answers to explain",
+    )
+
+    p_workload = sub.add_parser(
+        "workload",
+        help="generate a synthetic workload (.dl source on stdout)",
+        description="Generate a synthetic workload as a self-contained "
+        ".dl file: rules, facts, and a default query.  Pipe or redirect "
+        "it into the query command.",
+    )
+    p_workload.add_argument(
+        "family",
+        choices=("bom",),
+        help="workload family: bom = bill-of-materials with exception "
+        "lists (stratified negation, 4 strata)",
+    )
+    p_workload.add_argument(
+        "--depth", type=int, default=4,
+        help="part-tree depth (default 4)",
+    )
+    p_workload.add_argument(
+        "--fanout", type=int, default=2,
+        help="subparts per assembly (default 2)",
+    )
+    p_workload.add_argument(
+        "--exception-rate", type=float, default=0.1,
+        help="per-part exception probability (default 0.1)",
+    )
+    p_workload.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed for the exception list (default 0)",
+    )
+    p_workload.add_argument(
+        "--query", default=None,
+        help='query to embed (default "buildable(P)?")',
     )
     return parser
 
@@ -246,18 +300,60 @@ def _cmd_adorn(args) -> int:
 
 def _cmd_safety(args) -> int:
     program, _, query = _load(args)
-    adorned = adorn_program(
-        program, query, sip_builder=_SIP_BUILDERS[args.sip]
-    )
-    for family, report in (
-        ("magic methods", magic_safety(adorned)),
-        ("counting methods", counting_safety(adorned)),
-    ):
+
+    def show(family, report):
         verdict = {True: "SAFE", False: "DIVERGES", None: "UNKNOWN"}[
             report.safe
         ]
-        print(f"{family:<18} {verdict:<9} (Theorem {report.theorem})")
+        label = report.theorem
+        if label and label[0].isdigit():
+            label = f"Theorem {label}"
+        print(f"{family:<18} {verdict:<9} ({label})")
         print(f"                   {report.reason}")
+
+    if program.has_negation():
+        show("safe negation", negation_safety(program))
+        from .datalog.errors import StratificationError
+
+        try:
+            strat = stratify(program)
+        except StratificationError as exc:
+            print(f"{'stratification':<18} {'REJECTED':<9}")
+            print(f"                   {exc}")
+        else:
+            print(
+                f"{'stratification':<18} {'OK':<9} "
+                f"({len(strat)} strata)"
+            )
+            for line in str(strat).splitlines():
+                print(f"                   {line}")
+        print(
+            "% magic/counting verdicts skipped: the rewrites are "
+            "positive-only (evaluate with --method naive/seminaive)"
+        )
+        return 0
+    adorned = adorn_program(
+        program, query, sip_builder=_SIP_BUILDERS[args.sip]
+    )
+    show("magic methods", magic_safety(adorned))
+    show("counting methods", counting_safety(adorned))
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    # only one family today; the choices list keeps the CLI honest
+    try:
+        source = bom_source(
+            depth=args.depth,
+            fanout=args.fanout,
+            exception_rate=args.exception_rate,
+            seed=args.seed,
+            query=args.query,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    sys.stdout.write(source)
     return 0
 
 
@@ -303,6 +399,7 @@ _COMMANDS = {
     "adorn": _cmd_adorn,
     "safety": _cmd_safety,
     "explain": _cmd_explain,
+    "workload": _cmd_workload,
 }
 
 
@@ -310,13 +407,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return _COMMANDS[args.command](args)
+        code = _COMMANDS[args.command](args)
+        # flush inside the try: a downstream pipe closed early would
+        # otherwise surface as an unhandled BrokenPipeError during
+        # interpreter-exit flush (exit status 120)
+        sys.stdout.flush()
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # downstream consumer (e.g. `repro query ... | head`) closed the
+        # pipe; exit quietly instead of tracebacking on flush
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -40,9 +40,17 @@ from .safety import (
     argument_graph,
     argument_graph_cyclic,
     binding_graph,
+    check_safe_negation,
     counting_safety,
     magic_safety,
+    negation_safety,
     term_length_polynomial,
+)
+from .stratify import (
+    Stratification,
+    check_stratified,
+    is_stratified,
+    stratify,
 )
 from .semijoin import lemma_8_1_prune, lemma_8_2_anonymize, semijoin_optimize
 from .sips import (
@@ -86,9 +94,15 @@ __all__ = [
     "argument_graph",
     "argument_graph_cyclic",
     "binding_graph",
+    "check_safe_negation",
     "counting_safety",
     "magic_safety",
+    "negation_safety",
     "term_length_polynomial",
+    "Stratification",
+    "check_stratified",
+    "is_stratified",
+    "stratify",
     "lemma_8_1_prune",
     "lemma_8_2_anonymize",
     "semijoin_optimize",

@@ -31,9 +31,9 @@ running, or evaluation budgets.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
-from ..datalog.ast import Literal, Program, Rule
+from ..datalog.ast import Literal, Rule
 from ..datalog.errors import RewriteError
 from ..datalog.terms import Constant, LinExpr, Struct, Term, Variable
 from .adornment import AdornedProgram, AdornedRule
@@ -45,7 +45,6 @@ from .provenance import (
     RewrittenRule,
     RuleProvenance,
 )
-from .sips import HEAD, SipArc
 
 __all__ = ["counting_rewrite", "IndexScheme", "NumericIndexScheme", "StructuralIndexScheme"]
 

@@ -29,9 +29,9 @@ Appendix A.3.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Tuple
 
-from ..datalog.ast import Literal, Program, Rule
+from ..datalog.ast import Literal, Rule
 from ..datalog.errors import RewriteError
 from ..datalog.terms import Variable
 from .adornment import AdornedProgram, AdornedRule

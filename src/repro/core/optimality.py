@@ -22,9 +22,9 @@ Lemma 9.3 (fuller sips compute no more facts) is checked by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Optional, Tuple
 
-from ..datalog.database import Database, FactTuple
+from ..datalog.database import Database
 from ..datalog.engine import evaluate
 from ..datalog.topdown import QSQResult, qsq_evaluate
 from .adornment import AdornedProgram

@@ -24,9 +24,9 @@ one interface.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Set, Tuple
+from typing import Optional, Set, Tuple
 
-from ..datalog.ast import Literal, Program, Query
+from ..datalog.ast import Program, Query
 from ..datalog.database import Database
 from ..datalog.engine import (
     EvaluationResult,
@@ -156,6 +156,11 @@ def answer_query(
     ``"naive"`` / ``"seminaive"`` (bottom-up on the original program,
     then select/project -- the Section 1 strawman) or ``"qsq"``
     (top-down on the adorned program).
+
+    Programs with negated body literals (stratified negation) are only
+    evaluable by the bottom-up baselines, which run stratum by stratum;
+    the rewrite methods and ``qsq`` raise
+    :class:`~repro.datalog.errors.UnsupportedProgramError` for them.
 
     ``use_planner`` selects the execution path for both bottom-up and
     QSQ strategies: compiled plans (default) or the legacy interpretive

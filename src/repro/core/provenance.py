@@ -10,12 +10,12 @@ written against this metadata.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..datalog.ast import Literal, Program, Query, Rule
 from ..datalog.database import Database
 from ..datalog.engine import EvaluationResult
-from ..datalog.terms import Constant, Term
+from ..datalog.terms import Term
 
 __all__ = [
     "BodyOrigin",

@@ -28,9 +28,10 @@ the scaled graph has a negative cycle).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
-from ..datalog.ast import Literal
+from ..datalog.ast import Literal, Program, Rule
+from ..datalog.errors import UnsafeNegationError
 from ..datalog.terms import Constant, LinExpr, Struct, Term, Variable
 from .adornment import AdornedProgram
 
@@ -46,6 +47,8 @@ __all__ = [
     "SafetyReport",
     "magic_safety",
     "counting_safety",
+    "check_safe_negation",
+    "negation_safety",
 ]
 
 
@@ -377,6 +380,48 @@ def magic_safety(
         "termination certificate (the program may still terminate on "
         "specific databases)",
     )
+
+
+# ----------------------------------------------------------------------
+# safe negation (range restriction for negation-as-failure)
+# ----------------------------------------------------------------------
+
+def check_safe_negation(rule: Rule) -> None:
+    """Enforce the safe-negation rule on one rule.
+
+    Every variable of a negated body literal must also appear in a
+    positive body literal of the same rule: a free variable under
+    negation would quantify over the infinite complement of a relation,
+    so no evaluation strategy could enumerate its bindings.  Raises
+    :class:`UnsafeNegationError` naming the unbound variables.
+    """
+    rule.check_safe_negation()
+
+
+def negation_safety(program: Program) -> SafetyReport:
+    """A :class:`SafetyReport` for a program's use of negation.
+
+    ``safe=True`` when every rule passes :func:`check_safe_negation`
+    (vacuously for positive programs); ``safe=False`` with the first
+    offending rule in the reason otherwise.
+    """
+    for rule in program.rules:
+        try:
+            check_safe_negation(rule)
+        except UnsafeNegationError as exc:
+            return SafetyReport(
+                safe=False,
+                theorem="safe negation",
+                reason=str(exc),
+            )
+    if program.has_negation():
+        reason = (
+            "every negated literal is range-restricted by positive "
+            "literals of its rule"
+        )
+    else:
+        reason = "positive program: no negation to restrict"
+    return SafetyReport(safe=True, theorem="safe negation", reason=reason)
 
 
 def counting_safety(

@@ -32,18 +32,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import replace
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..datalog.ast import Literal, Rule
 from ..datalog.errors import RewriteError
-from ..datalog.terms import Term, Variable
+from ..datalog.terms import Variable
 from .adornment import AdornedProgram
-from .provenance import (
-    BodyOrigin,
-    RewrittenProgram,
-    RewrittenRule,
-    RuleProvenance,
-)
+from .provenance import BodyOrigin, RewrittenProgram, RewrittenRule
 from .sips import HEAD
 
 __all__ = ["semijoin_optimize", "lemma_8_1_prune", "lemma_8_2_anonymize"]

@@ -24,9 +24,9 @@ body-only tails), which is a conservative, documented deviation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
-from ..datalog.ast import Literal, Program, Rule
+from ..datalog.ast import Literal, Rule
 from ..datalog.terms import Variable
 from .adornment import AdornedProgram, AdornedRule
 from .magic import magic_literal_for, prune_dominated_magic, _magic_rules_for

@@ -17,11 +17,10 @@ As in GSMS:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from ..datalog.ast import Literal, Program, Rule
-from ..datalog.errors import RewriteError
-from ..datalog.terms import Term, Variable
+from ..datalog.ast import Literal, Rule
+from ..datalog.terms import Variable
 from .adornment import AdornedProgram, AdornedRule
 from .counting import (
     IndexScheme,

@@ -26,6 +26,9 @@ from .errors import (
     RewriteError,
     SafetyError,
     SipValidationError,
+    StratificationError,
+    UnsafeNegationError,
+    UnsupportedProgramError,
     WellFormednessError,
 )
 from .parser import (
@@ -117,4 +120,7 @@ __all__ = [
     "NonTerminationError",
     "SafetyError",
     "RewriteError",
+    "StratificationError",
+    "UnsafeNegationError",
+    "UnsupportedProgramError",
 ]

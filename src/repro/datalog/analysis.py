@@ -1,8 +1,11 @@
-"""Static analysis of programs: dependencies, recursion, blocks.
+"""Static analysis of programs: dependencies, recursion, blocks, strata.
 
 Provides the predicate dependency graph, Tarjan strongly connected
 components (the *blocks* of mutually recursive predicates used by the
-semijoin optimization, Theorem 8.3), and recursion/reachability queries.
+semijoin optimization, Theorem 8.3), recursion/reachability queries, and
+the stratification of programs with negated body literals (used by the
+bottom-up engines to run stratum by stratum; the user-facing subsystem
+API lives in :mod:`repro.core.stratify`).
 """
 
 from __future__ import annotations
@@ -10,14 +13,17 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
 from .ast import Program
+from .errors import StratificationError
 
 __all__ = [
     "dependency_graph",
+    "polarity_edges",
     "strongly_connected_components",
     "recursive_blocks",
     "is_recursive_predicate",
     "reachable_predicates",
     "depends_on",
+    "stratify_rules",
 ]
 
 
@@ -144,3 +150,93 @@ def depends_on(program: Program, pred_key: str, other: str) -> bool:
     return other in reachable_predicates(program, [pred_key]) and (
         other != pred_key or is_recursive_predicate(program, pred_key)
     )
+
+
+# ----------------------------------------------------------------------
+# stratification (negation as failure, stratified semantics)
+# ----------------------------------------------------------------------
+
+def polarity_edges(program: Program) -> List[Tuple[str, str, bool]]:
+    """The labelled dependency edges ``(head, dep, negative)``.
+
+    ``negative`` is True when some rule with head ``head`` mentions
+    ``dep`` under negation.  One edge per (head, dep, polarity) triple;
+    a pair may carry both a positive and a negative edge.
+    """
+    seen: Set[Tuple[str, str, bool]] = set()
+    edges: List[Tuple[str, str, bool]] = []
+    for rule in program.rules:
+        head_key = rule.head.pred_key
+        for literal in rule.body:
+            edge = (head_key, literal.pred_key, literal.negated)
+            if edge not in seen:
+                seen.add(edge)
+                edges.append(edge)
+    return edges
+
+
+def stratify_rules(
+    program: Program,
+) -> Tuple[Dict[str, int], Tuple[Tuple[int, ...], ...]]:
+    """Stratum numbers and the stratum-ordered rule partition.
+
+    Returns ``(predicate_stratum, rule_strata)``: every predicate key of
+    the program mapped to its stratum (base predicates sit at stratum 0;
+    a negative dependency strictly increases the stratum), and the
+    program's rule indexes grouped by head stratum, lowest first, with
+    the original rule order preserved inside each group.
+
+    Raises :class:`StratificationError` when the dependency graph has a
+    cycle through negation (the program then has no stratified model --
+    ``win(X) :- move(X, Y), not win(Y)`` on cyclic moves is the classic
+    example).  A purely positive program yields a single stratum.
+    """
+    graph = dependency_graph(program)
+    components = strongly_connected_components(graph)
+    component_of: Dict[str, int] = {}
+    for comp_id, component in enumerate(components):
+        for node in component:
+            component_of[node] = comp_id
+
+    edges = polarity_edges(program)
+    for head_key, dep_key, negative in edges:
+        if negative and component_of[head_key] == component_of[dep_key]:
+            cycle = sorted(components[component_of[head_key]])
+            raise StratificationError(
+                f"program is not stratified: {head_key} depends negatively "
+                f"on {dep_key} inside the recursive component "
+                f"{{{', '.join(cycle)}}}; no cycle of the dependency graph "
+                "may pass through 'not'",
+                cycle=cycle,
+            )
+
+    # components arrive callees-first (reverse topological), so every
+    # dependency's stratum is final before its dependents are numbered
+    component_stratum: Dict[int, int] = {}
+    out_edges: Dict[int, List[Tuple[int, bool]]] = {}
+    for head_key, dep_key, negative in edges:
+        out_edges.setdefault(component_of[head_key], []).append(
+            (component_of[dep_key], negative)
+        )
+    for comp_id in range(len(components)):
+        stratum = 0
+        for dep_comp, negative in out_edges.get(comp_id, ()):
+            if dep_comp == comp_id:
+                continue  # intra-component edges are positive (checked)
+            candidate = component_stratum[dep_comp] + (1 if negative else 0)
+            if candidate > stratum:
+                stratum = candidate
+        component_stratum[comp_id] = stratum
+
+    predicate_stratum = {
+        node: component_stratum[comp_id]
+        for node, comp_id in component_of.items()
+    }
+    by_stratum: Dict[int, List[int]] = {}
+    for rule_index, rule in enumerate(program.rules):
+        stratum = predicate_stratum[rule.head.pred_key]
+        by_stratum.setdefault(stratum, []).append(rule_index)
+    rule_strata = tuple(
+        tuple(by_stratum[stratum]) for stratum in sorted(by_stratum)
+    )
+    return predicate_stratum, rule_strata

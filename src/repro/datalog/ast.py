@@ -21,15 +21,13 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from .errors import AdornmentError, ConnectivityError, WellFormednessError
-from .terms import (
-    Constant,
-    LinExpr,
-    Struct,
-    Term,
-    Variable,
-    term_variables,
+from .errors import (
+    AdornmentError,
+    ConnectivityError,
+    UnsafeNegationError,
+    WellFormednessError,
 )
+from .terms import LinExpr, Struct, Term, Variable, term_variables
 
 __all__ = [
     "Literal",
@@ -84,15 +82,23 @@ def adornment_for_args(args: Sequence[Term], bound_vars: Iterable[Variable]) -> 
 
 
 class Literal:
-    """A predicate occurrence: name, argument terms, optional adornment."""
+    """A predicate occurrence: name, argument terms, optional adornment.
 
-    __slots__ = ("pred", "args", "adornment", "_vars")
+    ``negated`` marks a negation-as-failure body occurrence (written
+    ``not p(X)`` or ``\\+ p(X)`` in the surface syntax).  Negation is a
+    *body* annotation: rule heads and queries must be positive, and the
+    predicate identity (:attr:`pred_key`) is unaffected -- ``p`` and
+    ``not p`` refer to the same relation.
+    """
+
+    __slots__ = ("pred", "args", "adornment", "negated", "_vars")
 
     def __init__(
         self,
         pred: str,
         args: Iterable[Term] = (),
         adornment: Optional[str] = None,
+        negated: bool = False,
     ):
         args = tuple(args)
         if not pred:
@@ -105,6 +111,7 @@ class Literal:
         object.__setattr__(self, "pred", pred)
         object.__setattr__(self, "args", args)
         object.__setattr__(self, "adornment", adornment)
+        object.__setattr__(self, "negated", bool(negated))
         object.__setattr__(self, "_vars", None)
 
     def __setattr__(self, key, value):
@@ -144,13 +151,29 @@ class Literal:
             self.pred,
             tuple(a.substitute(subst) for a in self.args),
             self.adornment,
+            self.negated,
         )
+
+    # ------------------------------------------------------------------
+    # polarity helpers
+    # ------------------------------------------------------------------
+    def negate(self) -> "Literal":
+        """The negation-as-failure version of this literal."""
+        if self.negated:
+            return self
+        return Literal(self.pred, self.args, self.adornment, True)
+
+    def as_positive(self) -> "Literal":
+        """This literal with the negation stripped."""
+        if not self.negated:
+            return self
+        return Literal(self.pred, self.args, self.adornment, False)
 
     # ------------------------------------------------------------------
     # adornment helpers
     # ------------------------------------------------------------------
     def with_adornment(self, adornment: Optional[str]) -> "Literal":
-        return Literal(self.pred, self.args, adornment)
+        return Literal(self.pred, self.args, adornment, self.negated)
 
     def bound_args(self) -> Tuple[Term, ...]:
         """Arguments at positions marked 'b' (the paper's ``x^b``)."""
@@ -191,20 +214,23 @@ class Literal:
             and other.pred == self.pred
             and other.args == self.args
             and other.adornment == self.adornment
+            and other.negated == self.negated
         )
 
     def __hash__(self):
-        return hash((self.pred, self.args, self.adornment))
+        return hash((self.pred, self.args, self.adornment, self.negated))
 
     def __repr__(self):
-        return f"Literal({self.pred_key}, {self.args!r})"
+        prefix = "not " if self.negated else ""
+        return f"Literal({prefix}{self.pred_key}, {self.args!r})"
 
     def __str__(self):
         name = self.pred_key
+        prefix = "not " if self.negated else ""
         if not self.args:
-            return name
+            return f"{prefix}{name}"
         inner = ", ".join(str(a) for a in self.args)
-        return f"{name}({inner})"
+        return f"{prefix}{name}({inner})"
 
 
 class Rule:
@@ -220,6 +246,11 @@ class Rule:
         body = tuple(body)
         if not isinstance(head, Literal):
             raise TypeError("rule head must be a Literal")
+        if head.negated:
+            raise ValueError(
+                f"rule head {head} is negated; negation is only allowed "
+                "in rule bodies"
+            )
         for lit in body:
             if not isinstance(lit, Literal):
                 raise TypeError(f"rule body element {lit!r} is not a Literal")
@@ -232,6 +263,63 @@ class Rule:
 
     def is_fact(self) -> bool:
         return not self.body
+
+    # ------------------------------------------------------------------
+    # negation helpers
+    # ------------------------------------------------------------------
+    def has_negation(self) -> bool:
+        return any(lit.negated for lit in self.body)
+
+    def positive_body(self) -> Tuple[Literal, ...]:
+        return tuple(lit for lit in self.body if not lit.negated)
+
+    def negated_body(self) -> Tuple[Literal, ...]:
+        return tuple(lit for lit in self.body if lit.negated)
+
+    def unsafe_negated_variables(self) -> Tuple[Variable, ...]:
+        """Variables of negated body literals not bound positively.
+
+        Safe negation (the range-restriction rule for negation-as-
+        failure) requires every variable appearing in a negated body
+        literal to also appear in some *positive* body literal; the
+        returned tuple is empty exactly when the rule is safe.
+        """
+        positive_vars: Set[Variable] = set()
+        for lit in self.body:
+            if not lit.negated:
+                positive_vars.update(lit.variables())
+        unsafe: List[Variable] = []
+        for lit in self.body:
+            if not lit.negated:
+                continue
+            for var in lit.variables():
+                if var not in positive_vars and var not in unsafe:
+                    unsafe.append(var)
+        return tuple(unsafe)
+
+    def check_safe_negation(self) -> None:
+        """Raise :class:`UnsafeNegationError` unless negation is safe.
+
+        Safe negation: every variable of a negated body literal also
+        appears in a positive body literal (otherwise ``not p(X)``
+        ranges over the infinite complement of ``p``).
+        """
+        unsafe = self.unsafe_negated_variables()
+        if unsafe:
+            names = ", ".join(v.name for v in unsafe)
+            offenders = ", ".join(
+                str(lit)
+                for lit in self.negated_body()
+                if any(v in unsafe for v in lit.variables())
+            )
+            raise UnsafeNegationError(
+                f"rule {self}: unsafe negation -- variable(s) {{{names}}} "
+                f"of {offenders} are not bound by any positive body "
+                "literal; add a positive literal (e.g. a domain "
+                "predicate) that binds them first",
+                rule=self,
+                variables=unsafe,
+            )
 
     def variables(self) -> Tuple[Variable, ...]:
         cached = self._vars
@@ -270,9 +358,12 @@ class Rule:
         """
         if not self.body:
             return
+        # only positive literals bind values; a variable occurring solely
+        # under negation never receives a binding
         body_vars = set()
         for lit in self.body:
-            body_vars.update(lit.variables())
+            if not lit.negated:
+                body_vars.update(lit.variables())
         missing = [v for v in self.head.variables() if v not in body_vars]
         if missing:
             names = ", ".join(v.name for v in missing)
@@ -377,7 +468,7 @@ class Program:
     guarded rules.
     """
 
-    __slots__ = ("rules",)
+    __slots__ = ("rules", "_hash")
 
     def __init__(self, rules: Iterable[Rule]):
         rules = tuple(rules)
@@ -385,9 +476,14 @@ class Program:
             if not isinstance(rule, Rule):
                 raise TypeError(f"{rule!r} is not a Rule")
         object.__setattr__(self, "rules", rules)
+        object.__setattr__(self, "_hash", None)
 
     def __setattr__(self, key, value):
         raise AttributeError("Program is immutable")
+
+    def has_negation(self) -> bool:
+        """True when any rule body contains a negated literal."""
+        return any(rule.has_negation() for rule in self.rules)
 
     # ------------------------------------------------------------------
     # predicate classification
@@ -462,7 +558,15 @@ class Program:
         return isinstance(other, Program) and other.rules == self.rules
 
     def __hash__(self):
-        return hash(self.rules)
+        # Programs are immutable, so the structural hash is computed once
+        # and cached: PlanCache keys every lookup on the Program, and
+        # re-walking hundreds of rewritten rules per query would dominate
+        # the hit path.
+        cached = self._hash
+        if cached is None:
+            cached = hash(self.rules)
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __repr__(self):
         return f"Program({list(self.rules)!r})"
@@ -492,6 +596,11 @@ class Query:
     def __init__(self, literal: Literal):
         if not isinstance(literal, Literal):
             raise TypeError("query must wrap a Literal")
+        if literal.negated:
+            raise ValueError(
+                f"query {literal} is negated; ask the positive query and "
+                "test for emptiness instead"
+            )
         seen: Set[Variable] = set()
         for arg in literal.args:
             for var in arg.variables():

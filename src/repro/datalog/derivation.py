@@ -19,14 +19,19 @@ tried in order).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from .ast import Literal, Program, Rule
 from .database import Database, FactTuple
-from .engine import EvaluationResult, EvaluationStats, _evaluate_rule
+from .engine import (
+    EvaluationResult,
+    EvaluationStats,
+    _evaluate_rule,
+    _evaluation_strata,
+    _negation_sequence,
+)
 from .errors import EvaluationError
-from .terms import Term
 from .unify import match_sequences, resolve
 
 __all__ = ["DerivationNode", "explain", "fact_stages"]
@@ -86,6 +91,9 @@ def fact_stages(
     Base facts (and seeded facts present in ``base``) have stage 0.
     Replays a naive fixpoint over the (already computed) result, which
     terminates in at most as many rounds as the original evaluation.
+    The replay is stratum-wise (round numbers keep increasing across
+    strata), so anti-joins of negated literals probe lower-stratum
+    relations only after those are complete -- exactly like the engines.
     """
     derived_keys = result.derived_keys
     stages: Dict[str, Dict[FactTuple, int]] = {
@@ -102,23 +110,25 @@ def fact_stages(
     working = base.copy()
     stats = EvaluationStats()
     round_number = 0
-    changed = True
-    while changed:
-        changed = False
-        round_number += 1
-        # evaluate the whole round against the previous round's facts so
-        # that stages are simultaneous (a fact's supporters always have a
-        # strictly smaller stage)
-        snapshot = working.copy()
-        pending: List[Tuple[str, FactTuple]] = []
-        for rule in program.rules:
-            head_key = rule.head.pred_key
-            for row in _evaluate_rule(rule, snapshot, stats):
-                pending.append((head_key, row))
-        for head_key, row in pending:
-            if working.relation(head_key).add(row):
-                stages.setdefault(head_key, {})[row] = round_number
-                changed = True
+    for stratum in _evaluation_strata(program, None):
+        changed = True
+        while changed:
+            changed = False
+            round_number += 1
+            # evaluate the whole round against the previous round's
+            # facts so that stages are simultaneous (a fact's supporters
+            # always have a strictly smaller stage)
+            snapshot = working.copy()
+            pending: List[Tuple[str, FactTuple]] = []
+            for rule_index in stratum:
+                rule = program.rules[rule_index]
+                head_key = rule.head.pred_key
+                for row in _evaluate_rule(rule, snapshot, stats):
+                    pending.append((head_key, row))
+            for head_key, row in pending:
+                if working.relation(head_key).add(row):
+                    stages.setdefault(head_key, {})[row] = round_number
+                    changed = True
     return stages
 
 
@@ -160,6 +170,11 @@ def _explain_rec(
     stages: Dict[str, Dict[FactTuple, int]],
     in_progress: Set[Tuple[str, FactTuple]],
 ) -> DerivationNode:
+    if fact.negated:
+        # negation-as-failure support: the absence of the fact is the
+        # witness, so it renders as a leaf (stratification guarantees
+        # the probed relation was complete)
+        return DerivationNode(fact)
     key = fact.pred_key
     row = tuple(fact.args)
     if key not in result.derived_keys:
@@ -207,20 +222,43 @@ def _find_supporting_instance(
     stages: Dict[str, Dict[FactTuple, int]],
     stage: int,
 ) -> Optional[List[Literal]]:
-    """A ground body instance deriving ``fact`` from earlier-stage facts."""
+    """A ground body instance deriving ``fact`` from earlier-stage facts.
+
+    Negated literals succeed on *absence* from the (complete, lower-
+    stratum) relation and contribute their ground negated form to the
+    instance, which :func:`_explain_rec` renders as a leaf.
+    """
     head_binding = match_sequences(rule.head.args, fact.args)
     if head_binding is None:
         return None
 
     body = rule.body
+    if rule.has_negation():
+        sequence = _negation_sequence(rule)
+    else:
+        sequence = range(len(body))
 
-    def extend(index: int, subst) -> Optional[List[Literal]]:
-        if index == len(body):
+    def extend(position: int, subst) -> Optional[List[Literal]]:
+        if position == len(body):
             return []
-        literal = body[index]
+        literal = body[sequence[position]]
         resolved = tuple(resolve(arg, subst) for arg in literal.args)
         key = literal.pred_key
         relation = database.get(key)
+        if literal.negated:
+            # the sequence defers anti-joins until resolved is ground
+            if relation is not None and relation.lookup(
+                tuple(range(len(resolved))), resolved
+            ):
+                return None
+            rest = extend(position + 1, subst)
+            if rest is not None:
+                return [
+                    Literal(
+                        literal.pred, resolved, literal.adornment, True
+                    )
+                ] + rest
+            return None
         if relation is None:
             return None
         bound_positions = tuple(
@@ -234,7 +272,7 @@ def _find_supporting_instance(
             extended = match_sequences(resolved, row, subst)
             if extended is None:
                 continue
-            rest = extend(index + 1, extended)
+            rest = extend(position + 1, extended)
             if rest is not None:
                 ground_literal = Literal(
                     literal.pred, row, literal.adornment

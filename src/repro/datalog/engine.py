@@ -23,6 +23,20 @@ Programs with function symbols need not terminate (Section 1.1 notes the
 limit may be infinite); both strategies accept iteration and fact budgets
 and raise :class:`~repro.datalog.errors.NonTerminationError` on overrun.
 
+Stratified negation
+-------------------
+
+Both strategies evaluate programs with negated body literals under the
+stratified semantics: the rules are partitioned by
+:func:`repro.datalog.analysis.stratify_rules` (raising
+:class:`~repro.datalog.errors.StratificationError` on recursion through
+negation and :class:`~repro.datalog.errors.UnsafeNegationError` on
+negated variables no positive literal binds), and each stratum runs to
+its fixpoint before the next starts.  A negated literal is evaluated as
+an anti-join against the -- by then complete -- relation of a strictly
+lower stratum, so negation-as-failure coincides with set complement.
+Positive programs form a single stratum and behave exactly as before.
+
 Execution paths
 ---------------
 
@@ -50,13 +64,14 @@ breaks collection with an ImportError on ``assert_rules_equal``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from .analysis import stratify_rules
 from .ast import Literal, Program, Rule
 from .database import Database, FactTuple, Relation
-from .errors import EvaluationError, NonTerminationError
+from .errors import EvaluationError, NonTerminationError, UnsafeNegationError
 from .planner import CompiledProgram, PlanCache, compiled_program_for
-from .terms import Constant, LinExpr, Struct, Term, Variable
+from .terms import Term
 from .unify import Substitution, match_sequences, resolve
 
 __all__ = [
@@ -151,6 +166,44 @@ def _literal_rows(
     return rows, resolved
 
 
+def _negation_sequence(rule: Rule) -> Tuple[int, ...]:
+    """Body indexes in legacy evaluation order under negation.
+
+    Positive literals keep their source order; each negated literal is
+    deferred to the earliest point where the positive prefix has bound
+    all its variables (safe negation guarantees that point exists).
+    """
+    body = rule.body
+    order: List[int] = []
+    bound: Set = set()
+    pending = [i for i, lit in enumerate(body) if lit.negated]
+
+    def flush() -> None:
+        kept = []
+        for i in pending:
+            if all(v in bound for v in body[i].variables()):
+                order.append(i)
+            else:
+                kept.append(i)
+        pending[:] = kept
+
+    flush()
+    for i, literal in enumerate(body):
+        if literal.negated:
+            continue
+        order.append(i)
+        bound.update(literal.variables())
+        flush()
+    if pending:
+        rule.check_safe_negation()  # raises with the offending variables
+        raise UnsafeNegationError(
+            f"rule {rule}: no join order binds every negated variable "
+            "before its anti-join runs",
+            rule=rule,
+        )
+    return tuple(order)
+
+
 def _evaluate_rule(
     rule: Rule,
     database: Database,
@@ -163,13 +216,19 @@ def _evaluate_rule(
     the body literal at that index is matched against the delta relation
     instead of the full one.  The join proceeds left-to-right, carrying a
     substitution; index lookups narrow each literal to the rows agreeing
-    with the currently-ground argument positions.
+    with the currently-ground argument positions.  Negated literals are
+    anti-joins, deferred until their variables are bound
+    (:func:`_negation_sequence`).
     """
     produced: List[FactTuple] = []
     body = rule.body
+    if rule.has_negation():
+        sequence: Sequence[int] = _negation_sequence(rule)
+    else:
+        sequence = range(len(body))
 
-    def extend(index: int, subst: Substitution) -> None:
-        if index == len(body):
+    def extend(position: int, subst: Substitution) -> None:
+        if position == len(body):
             head_args = tuple(resolve(arg, subst) for arg in rule.head.args)
             for value in head_args:
                 if not value.is_ground():
@@ -181,7 +240,29 @@ def _evaluate_rule(
             stats.rule_firings += 1
             produced.append(head_args)
             return
+        index = sequence[position]
         literal = body[index]
+        if literal.negated:
+            # anti-join: the tuple must be ground here (safe negation);
+            # the branch survives only when it is absent from the
+            # completed lower-stratum relation
+            resolved = tuple(resolve(arg, subst) for arg in literal.args)
+            for value in resolved:
+                if not value.is_ground():
+                    raise UnsafeNegationError(
+                        f"rule {rule}: negated literal {literal} reached "
+                        f"with non-ground argument {value}; negated "
+                        "variables must be bound by positive literals",
+                        rule=rule,
+                    )
+            relation = database.get(literal.pred_key)
+            if relation is not None and len(relation) > 0:
+                stats.join_probes += 1
+                positions = tuple(range(len(resolved)))
+                if relation.lookup(positions, resolved):
+                    return
+            extend(position + 1, subst)
+            return
         override = None
         if delta is not None and index == delta[0]:
             override = (delta[1], delta[2])
@@ -196,7 +277,7 @@ def _evaluate_rule(
             stats.tuples_scanned += 1
             extended = match_sequences(resolved, row, subst)
             if extended is not None:
-                extend(index + 1, extended)
+                extend(position + 1, extended)
 
     extend(0, {})
     return produced
@@ -245,6 +326,28 @@ def _compiled_for(
     return compiled
 
 
+def _evaluation_strata(
+    program: Program, compiled: Optional[CompiledProgram]
+) -> Tuple[Tuple[int, ...], ...]:
+    """The stratum partition of the program's rule indexes.
+
+    The compiled program carries it precomputed (and plan-cached); the
+    legacy path stratifies here, first re-checking safe negation so
+    unsafe rules fail with :class:`UnsafeNegationError` before any
+    evaluation work happens.  Positive programs yield one stratum.
+    """
+    if compiled is not None:
+        return compiled.strata
+    if not program.has_negation():
+        # positive program: single stratum, no graph work on the legacy
+        # path (it is the A/B timing baseline and must stay lean)
+        return (tuple(range(len(program.rules))),)
+    for rule in program.rules:
+        rule.check_safe_negation()
+    _, rule_strata = stratify_rules(program)
+    return rule_strata
+
+
 def evaluate_naive(
     program: Program,
     database: Database,
@@ -253,35 +356,42 @@ def evaluate_naive(
     use_planner: bool = True,
     plan_cache: Optional[PlanCache] = None,
 ) -> EvaluationResult:
-    """Naive bottom-up fixpoint: all rules against all facts, each round."""
+    """Naive bottom-up fixpoint: all rules against all facts, each round.
+
+    With negation, each stratum's rules run to their joint fixpoint
+    before the next stratum starts (``stats.iterations`` accumulates
+    rounds across strata).
+    """
     working = database.copy()
     stats = EvaluationStats()
     derived_keys = program.derived_predicates()
     compiled: Optional[CompiledProgram] = None
     if use_planner:
         compiled = _compiled_for(program, working, stats, plan_cache)
-    changed = True
-    while changed:
-        changed = False
-        stats.iterations += 1
-        _check_budget(
-            stats, stats.facts_derived, max_iterations, max_facts
-        )
-        for rule_index, rule in enumerate(program.rules):
-            head_key = rule.head.pred_key
-            relation = working.relation(head_key)
-            if compiled is not None:
-                rows = compiled.plan(rule_index).execute(working, stats)
-            else:
-                rows = _evaluate_rule(rule, working, stats)
-            for row in rows:
-                if relation.add(row):
-                    stats.record_fact(head_key)
-                    changed = True
+    for stratum in _evaluation_strata(program, compiled):
+        changed = True
+        while changed:
+            changed = False
+            stats.iterations += 1
+            _check_budget(
+                stats, stats.facts_derived, max_iterations, max_facts
+            )
+            for rule_index in stratum:
+                rule = program.rules[rule_index]
+                head_key = rule.head.pred_key
+                relation = working.relation(head_key)
+                if compiled is not None:
+                    rows = compiled.plan(rule_index).execute(working, stats)
                 else:
-                    stats.duplicate_derivations += 1
-        if max_facts is not None and stats.facts_derived > max_facts:
-            _check_budget(stats, stats.facts_derived, None, max_facts)
+                    rows = _evaluate_rule(rule, working, stats)
+                for row in rows:
+                    if relation.add(row):
+                        stats.record_fact(head_key)
+                        changed = True
+                    else:
+                        stats.duplicate_derivations += 1
+            if max_facts is not None and stats.facts_derived > max_facts:
+                _check_budget(stats, stats.facts_derived, None, max_facts)
     return EvaluationResult(working, derived_keys, stats)
 
 
@@ -329,69 +439,82 @@ def evaluate_seminaive(
         compiled = _compiled_for(program, working, stats, plan_cache)
         delta_positions = compiled.delta_index_positions()
 
-    # round 1: all rules against the base database (derived relations are
-    # empty, so only base-only rules can fire; rules with derived body
-    # literals fire iff those relations already hold facts, which they do
-    # not -- unless the caller preloaded derived facts, which we support
-    # by simply evaluating every rule naively once).
-    deltas: Dict[str, Relation] = {}
-    stats.iterations = 1
-    for rule_index, rule in enumerate(program.rules):
-        head_key = rule.head.pred_key
-        relation = working.relation(head_key)
-        if compiled is not None:
-            rows = compiled.plan(rule_index).execute(working, stats)
-        else:
-            rows = _evaluate_rule(rule, working, stats)
-        for row in rows:
-            if relation.add(row):
-                stats.record_fact(head_key)
-                delta_rel = deltas.get(head_key)
-                if delta_rel is None:
-                    delta_rel = _new_delta_relation(
-                        head_key, delta_positions
-                    )
-                    deltas[head_key] = delta_rel
-                delta_rel.add(row)
-            else:
-                stats.duplicate_derivations += 1
-
-    # subsequent rounds: delta-driven
-    while deltas:
+    for stratum in _evaluation_strata(program, compiled):
+        # round 1 of the stratum: all its rules against the current
+        # database (derived relations of this stratum are empty, so only
+        # rules over base/lower-stratum facts can fire; rules with
+        # same-stratum derived body literals fire iff those relations
+        # already hold facts, which we support by simply evaluating every
+        # rule naively once).  Negated literals probe lower strata, which
+        # are complete by now.
+        deltas: Dict[str, Relation] = {}
         stats.iterations += 1
-        _check_budget(stats, stats.facts_derived, max_iterations, max_facts)
-        new_deltas: Dict[str, Relation] = {}
-        for rule_index, rule in enumerate(program.rules):
+        for rule_index in stratum:
+            rule = program.rules[rule_index]
             head_key = rule.head.pred_key
             relation = working.relation(head_key)
-            for index, literal in enumerate(rule.body):
-                if literal.pred_key not in deltas:
-                    continue
-                if literal.pred_key not in derived_keys:
-                    continue
-                delta_rel = deltas[literal.pred_key]
-                if compiled is not None:
-                    rows = compiled.plan(rule_index, index).execute(
-                        working, stats, delta_rel
-                    )
+            if compiled is not None:
+                rows = compiled.plan(rule_index).execute(working, stats)
+            else:
+                rows = _evaluate_rule(rule, working, stats)
+            for row in rows:
+                if relation.add(row):
+                    stats.record_fact(head_key)
+                    delta_rel = deltas.get(head_key)
+                    if delta_rel is None:
+                        delta_rel = _new_delta_relation(
+                            head_key, delta_positions
+                        )
+                        deltas[head_key] = delta_rel
+                    delta_rel.add(row)
                 else:
-                    delta_spec = (index, literal.pred_key, delta_rel)
-                    rows = _evaluate_rule(rule, working, stats, delta_spec)
-                for row in rows:
-                    if relation.add(row):
-                        stats.record_fact(head_key)
-                        new_rel = new_deltas.get(head_key)
-                        if new_rel is None:
-                            new_rel = _new_delta_relation(
-                                head_key, delta_positions
-                            )
-                            new_deltas[head_key] = new_rel
-                        new_rel.add(row)
+                    stats.duplicate_derivations += 1
+
+        # subsequent rounds: delta-driven (deltas only ever hold
+        # same-stratum predicates, so negated literals -- strictly lower
+        # stratum -- never match one)
+        while deltas:
+            stats.iterations += 1
+            _check_budget(
+                stats, stats.facts_derived, max_iterations, max_facts
+            )
+            new_deltas: Dict[str, Relation] = {}
+            for rule_index in stratum:
+                rule = program.rules[rule_index]
+                head_key = rule.head.pred_key
+                relation = working.relation(head_key)
+                for index, literal in enumerate(rule.body):
+                    if literal.negated:
+                        continue
+                    if literal.pred_key not in deltas:
+                        continue
+                    if literal.pred_key not in derived_keys:
+                        continue
+                    delta_rel = deltas[literal.pred_key]
+                    if compiled is not None:
+                        rows = compiled.plan(rule_index, index).execute(
+                            working, stats, delta_rel
+                        )
                     else:
-                        stats.duplicate_derivations += 1
-        deltas = new_deltas
-        if max_facts is not None and stats.facts_derived > max_facts:
-            _check_budget(stats, stats.facts_derived, None, max_facts)
+                        delta_spec = (index, literal.pred_key, delta_rel)
+                        rows = _evaluate_rule(
+                            rule, working, stats, delta_spec
+                        )
+                    for row in rows:
+                        if relation.add(row):
+                            stats.record_fact(head_key)
+                            new_rel = new_deltas.get(head_key)
+                            if new_rel is None:
+                                new_rel = _new_delta_relation(
+                                    head_key, delta_positions
+                                )
+                                new_deltas[head_key] = new_rel
+                            new_rel.add(row)
+                        else:
+                            stats.duplicate_derivations += 1
+            deltas = new_deltas
+            if max_facts is not None and stats.facts_derived > max_facts:
+                _check_budget(stats, stats.facts_derived, None, max_facts)
     return EvaluationResult(working, derived_keys, stats)
 
 

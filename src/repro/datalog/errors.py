@@ -84,3 +84,44 @@ class RewriteError(ReproError):
     reachable argument graph is cyclic (Theorem 10.3) with
     ``require_safe=True``.
     """
+
+
+class UnsafeNegationError(EvaluationError):
+    """Raised when a negated body literal is not range-restricted.
+
+    Safe negation requires every variable of a negated literal to be
+    bound by a *positive* body literal of the same rule; otherwise
+    ``not p(X)`` would quantify over an infinite complement.  Carries
+    the offending rule and variable names so the message is actionable.
+    """
+
+    def __init__(self, message, rule=None, variables=()):
+        super().__init__(message)
+        self.rule = rule
+        self.variables = tuple(variables)
+
+
+class StratificationError(EvaluationError):
+    """Raised when a program recurses through negation.
+
+    Stratified semantics require the predicate dependency graph to have
+    no cycle containing a negative edge (``win(X) :- move(X, Y),
+    not win(Y)`` is the classic offender).  Carries the predicates of
+    the offending cycle.
+    """
+
+    def __init__(self, message, cycle=()):
+        super().__init__(message)
+        self.cycle = tuple(cycle)
+
+
+class UnsupportedProgramError(ReproError):
+    """Raised when a pipeline stage cannot handle a (valid) program.
+
+    The sip/adornment machinery and the four magic/counting rewrites of
+    the paper are defined for positive programs only; handing them a
+    stratified program with negation raises this error instead of
+    silently treating ``not p`` as ``p``.  Evaluate such programs with
+    the bottom-up engines (``--method naive``/``seminaive``), which run
+    stratum by stratum.
+    """

@@ -3,8 +3,9 @@
 Grammar (informal)::
 
     program   := (clause | query | comment)*
-    clause    := literal ( ":-" literal ("," literal)* )? "."
+    clause    := literal ( ":-" blit ("," blit)* )? "."
     query     := "?-" literal "." | literal "?"
+    blit      := ( "not" | "\\+" )? literal
     literal   := NAME ( "(" term ("," term)* ")" )?
     term      := VARIABLE | NAME | NUMBER | STRING
                | NAME "(" term ("," term)* ")"
@@ -13,7 +14,9 @@ Grammar (informal)::
 Conventions follow the paper (Section 1.1): identifiers beginning with an
 uppercase letter or underscore are variables; lowercase identifiers and
 numerals are constants or predicate/function names.  ``%`` starts a
-line comment.
+line comment.  Body literals may be negated (negation as failure,
+stratified semantics): ``not p(X)`` or ``\\+ p(X)``; heads and queries
+must stay positive.
 
 :func:`parse_program` returns ``(Program, facts, queries)`` so a single
 source file can carry rules, ground facts (loaded into a database by the
@@ -44,6 +47,7 @@ _TOKEN_RE = re.compile(
   | (?P<comment>%[^\n]*)
   | (?P<implies>:-)
   | (?P<qmark>\?-)
+  | (?P<naf>\\\+)
   | (?P<punct>[()\[\],.|?])
   | (?P<number>-?\d+)
   | (?P<string>"(?:[^"\\]|\\.)*")
@@ -184,6 +188,28 @@ class _Parser:
             self.expect(")")
         return Literal(token.text, tuple(args))
 
+    def parse_body_literal(self) -> Literal:
+        """A body literal, optionally negated (``not p(X)`` / ``\\+ p(X)``).
+
+        ``not`` is an ordinary lowercase name, so it only reads as the
+        negation keyword when another predicate name follows it --
+        ``not(X)`` stays a literal of the predicate ``not``.
+        """
+        token = self.peek()
+        if token is not None and token.kind == "naf":
+            self.next()
+            return self.parse_literal().negate()
+        if (
+            token is not None
+            and token.kind == "name"
+            and token.text == "not"
+            and self.pos + 1 < len(self.tokens)
+            and self.tokens[self.pos + 1].kind == "name"
+        ):
+            self.next()
+            return self.parse_literal().negate()
+        return self.parse_literal()
+
     def parse_clause(self):
         """Parse one clause; returns ('query', Query) / ('rule', Rule)."""
         if self.at("?-"):
@@ -200,10 +226,10 @@ class _Parser:
         body: List[Literal] = []
         if self.at(":-"):
             self.next()
-            body.append(self.parse_literal())
+            body.append(self.parse_body_literal())
             while self.at(","):
                 self.next()
-                body.append(self.parse_literal())
+                body.append(self.parse_body_literal())
         self.expect(".")
         return ("rule", Rule(head, tuple(body)))
 

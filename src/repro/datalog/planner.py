@@ -53,11 +53,16 @@ Two further layers serve the top-down side and repeated evaluations:
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from .ast import Literal, Program, Rule
+from .analysis import stratify_rules
+from .ast import Program, Rule
 from .database import Database, FactTuple, Relation
-from .errors import EvaluationError
+from .errors import (
+    EvaluationError,
+    UnsafeNegationError,
+    UnsupportedProgramError,
+)
 from .terms import Term, Variable
 from .unify import match_into, resolve
 
@@ -160,8 +165,19 @@ def order_body(rule: Rule, delta_index: Optional[int] = None) -> Tuple[int, ...]
     positions that are bound -- ground at plan time, or covered by variables
     bound in earlier steps -- breaking ties toward literals sharing more
     bound variables, then toward the original (SIP) order.
+
+    Negated literals are anti-joins: they bind nothing and are only
+    *eligible* once every one of their variables is bound by an earlier
+    positive step (safe negation guarantees such an order exists); once
+    eligible they are fully bound, so the score naturally schedules them
+    as early filters.
     """
     body = rule.body
+    if delta_index is not None and body[delta_index].negated:
+        raise ValueError(
+            f"rule {rule}: the delta occurrence cannot be the negated "
+            f"literal {body[delta_index]}"
+        )
     remaining = list(range(len(body)))
     order: List[int] = []
     bound: Set[Variable] = set()
@@ -170,6 +186,19 @@ def order_body(rule: Rule, delta_index: Optional[int] = None) -> Tuple[int, ...]
         remaining.remove(delta_index)
         bound.update(body[delta_index].variables())
     while remaining:
+        eligible = [
+            i for i in remaining
+            if not body[i].negated
+            or all(v in bound for v in body[i].variables())
+        ]
+        if not eligible:
+            rule.check_safe_negation()  # raises with the offending vars
+            raise UnsafeNegationError(
+                f"rule {rule}: no join order binds every negated "
+                "variable before its anti-join runs",
+                rule=rule,
+            )
+
         def score(i: int) -> Tuple[int, int, int]:
             literal = body[i]
             bound_positions = 0
@@ -180,25 +209,35 @@ def order_body(rule: Rule, delta_index: Optional[int] = None) -> Tuple[int, ...]
             shared = sum(1 for v in literal.variables() if v in bound)
             return (bound_positions, shared, -i)
 
-        best = max(remaining, key=score)
+        best = max(eligible, key=score)
         order.append(best)
         remaining.remove(best)
-        bound.update(body[best].variables())
+        if not body[best].negated:
+            bound.update(body[best].variables())
     return tuple(order)
 
 
 class JoinStep:
-    """One body literal of a compiled plan, with precomputed join ops."""
+    """One body literal of a compiled plan, with precomputed join ops.
 
-    __slots__ = ("literal", "pred_key", "is_delta", "index_positions",
-                 "key_ops", "row_ops")
+    A ``negated`` step is an anti-join: by construction every argument
+    position is part of the lookup key (safe negation plus the eligible
+    ordering of :func:`order_body` guarantee the whole tuple is ground
+    when the step runs), the probe tests membership in the completed
+    lower-stratum relation, and the branch survives only on a *miss*.
+    """
 
-    def __init__(self, literal, pred_key, is_delta, index_positions,
-                 key_ops, row_ops):
+    __slots__ = ("literal", "pred_key", "is_delta", "negated",
+                 "index_positions", "key_ops", "row_ops")
+
+    def __init__(self, literal, pred_key, is_delta, negated,
+                 index_positions, key_ops, row_ops):
         self.literal = literal
         self.pred_key = pred_key
         #: match this occurrence against the delta relation, not the full one
         self.is_delta = is_delta
+        #: anti-join: emit on miss, bind nothing
+        self.negated = negated
         #: argument positions ground at run time (sorted ascending)
         self.index_positions = index_positions
         self.key_ops = key_ops
@@ -206,6 +245,8 @@ class JoinStep:
 
     def __repr__(self):
         flag = " delta" if self.is_delta else ""
+        if self.negated:
+            flag += " anti"
         return (
             f"JoinStep({self.literal}{flag}, "
             f"indexed on {self.index_positions})"
@@ -287,6 +328,29 @@ class JoinPlan:
                 relation = delta_relation
             else:
                 relation = database.get(step.pred_key)
+            if step.negated:
+                # anti-join: the key covers every position (the tuple is
+                # fully ground here), so the probe is a membership test
+                # against the completed lower-stratum relation
+                if relation is not None and len(relation) > 0:
+                    if not step.index_positions:
+                        return  # 0-ary atom holds: negation fails
+                    key = []
+                    for tag, payload in step.key_ops:
+                        if tag == _SLOT:
+                            key.append(frame[payload])
+                        elif tag == _CONST:
+                            key.append(payload)
+                        else:  # _EVAL
+                            term, pairs = payload
+                            key.append(
+                                resolve(term, {v: frame[s] for v, s in pairs})
+                            )
+                    stats.join_probes += 1
+                    if relation.lookup(step.index_positions, tuple(key)):
+                        return
+                run(depth + 1)
+                return
             if relation is None or len(relation) == 0:
                 return
             key = []
@@ -359,11 +423,18 @@ class JoinPlan:
 
 
 def compile_rule(rule: Rule, delta_index: Optional[int] = None) -> JoinPlan:
-    """Compile one rule (for one delta choice) into a :class:`JoinPlan`."""
+    """Compile one rule (for one delta choice) into a :class:`JoinPlan`.
+
+    Negated body literals compile into anti-join steps; unsafe negation
+    (a negated variable no positive literal binds) is rejected here with
+    :class:`UnsafeNegationError` before any plan exists.
+    """
     if delta_index is not None and not (0 <= delta_index < len(rule.body)):
         raise ValueError(
             f"delta index {delta_index} out of range for rule {rule}"
         )
+    if rule.has_negation():
+        rule.check_safe_negation()
     slots: Dict[Variable, int] = {
         var: i for i, var in enumerate(rule.variables())
     }
@@ -373,12 +444,34 @@ def compile_rule(rule: Rule, delta_index: Optional[int] = None) -> JoinPlan:
     for body_idx in order:
         literal = rule.body[body_idx]
         index_positions, key_ops = _key_ops_for(literal, slots, bound)
+        if literal.negated:
+            if len(index_positions) != literal.arity:
+                # cannot happen after check_safe_negation + the eligible
+                # ordering, but fail loudly rather than mis-evaluate
+                raise UnsafeNegationError(
+                    f"rule {rule}: anti-join for {literal} would run with "
+                    "unbound argument positions",
+                    rule=rule,
+                )
+            steps.append(
+                JoinStep(
+                    literal,
+                    literal.pred_key,
+                    False,
+                    True,
+                    tuple(index_positions),
+                    tuple(key_ops),
+                    (),
+                )
+            )
+            continue
         row_ops = _row_ops_for(literal, slots, bound, set(index_positions))
         steps.append(
             JoinStep(
                 literal,
                 literal.pred_key,
                 body_idx == delta_index,
+                False,
                 tuple(index_positions),
                 tuple(key_ops),
                 tuple(row_ops),
@@ -407,14 +500,23 @@ def compile_rule(rule: Rule, delta_index: Optional[int] = None) -> JoinPlan:
 
 class CompiledProgram:
     """All plans for a program: one full plan per rule, plus one delta
-    plan per body occurrence of a derived predicate."""
+    plan per *positive* body occurrence of a derived predicate.
 
-    __slots__ = ("program", "derived_keys", "_plans", "_delta_occurrences",
-                 "_delta_index_positions")
+    ``strata`` is the stratum partition of the rule indexes (a single
+    stratum for positive programs): the engines drive each stratum to
+    its fixpoint before the next starts, so anti-join steps always probe
+    completed relations.  Compilation therefore rejects non-stratified
+    programs (:class:`StratificationError`) and unsafe negation
+    (:class:`UnsafeNegationError`) up front.
+    """
+
+    __slots__ = ("program", "derived_keys", "strata", "_plans",
+                 "_delta_occurrences", "_delta_index_positions")
 
     def __init__(self, program: Program):
         self.program = program
         self.derived_keys = program.derived_predicates()
+        _, self.strata = stratify_rules(program)
         self._plans: Dict[Tuple[int, Optional[int]], JoinPlan] = {}
         self._delta_occurrences: Dict[int, Tuple[int, ...]] = {}
         self._delta_index_positions: Optional[
@@ -425,6 +527,7 @@ class CompiledProgram:
             occurrences = tuple(
                 i for i, literal in enumerate(rule.body)
                 if literal.pred_key in self.derived_keys
+                and not literal.negated
             )
             self._delta_occurrences[rule_index] = occurrences
             for i in occurrences:
@@ -567,6 +670,12 @@ class SubqueryPlan:
 
 def compile_subquery_rule(rule: Rule, derived_keys: Set[str]) -> SubqueryPlan:
     """Compile one adorned rule into a :class:`SubqueryPlan`."""
+    if rule.has_negation():
+        raise UnsupportedProgramError(
+            f"rule {rule}: the QSQ evaluator handles positive programs "
+            "only; evaluate stratified programs bottom-up "
+            "(method='naive'/'seminaive')"
+        )
     slots: Dict[Variable, int] = {
         var: i for i, var in enumerate(rule.variables())
     }

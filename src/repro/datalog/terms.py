@@ -22,7 +22,7 @@ directly as relation tuple entries.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Iterator, Optional, Tuple, Union
+from typing import Iterable, Iterator, Optional, Tuple
 
 __all__ = [
     "Term",

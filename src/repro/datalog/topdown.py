@@ -76,9 +76,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from .ast import Literal, Program, Query
+from .ast import Literal, Program
 from .database import Database, FactTuple, Relation
-from .errors import EvaluationError, NonTerminationError
+from .errors import (
+    EvaluationError,
+    NonTerminationError,
+    UnsupportedProgramError,
+)
 from .planner import (
     PlanCache,
     SubqueryPlan,
@@ -88,10 +92,8 @@ from .planner import (
     _EQ,
     _EQC,
     _EVAL,
-    _MATCH,
     _SLOT,
     _STORE,
-    _UNBOUND,
 )
 from .terms import Term, Variable
 from .unify import (
@@ -196,6 +198,12 @@ def qsq_evaluate(
     and ``F``.  ``plan_cache`` overrides the shared compiled-plan cache
     (compiled path only).
     """
+    if adorned_program.has_negation():
+        raise UnsupportedProgramError(
+            "the QSQ evaluator handles positive programs only; evaluate "
+            "stratified programs with negation bottom-up "
+            "(method='naive'/'seminaive')"
+        )
     derived = adorned_program.derived_predicates()
     query_key = query_literal.pred_key
     if query_key not in derived:

@@ -16,7 +16,7 @@ run under ordinary bottom-up evaluation.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from .terms import Constant, LinExpr, Struct, Term, Variable
 

@@ -1,5 +1,15 @@
 """Synthetic workload generators for tests, examples, and benchmarks."""
 
+from .bom import (
+    BOM,
+    bom_database,
+    bom_exceptions,
+    bom_parts,
+    bom_program,
+    bom_query,
+    bom_source,
+    bom_subpart_edges,
+)
 from .graphs import (
     chain_database,
     chain_edges,
@@ -34,6 +44,8 @@ from .programs import (
 from .samegen import nested_samegen_database, samegen_database, samegen_edges
 
 __all__ = [
+    "BOM", "bom_database", "bom_exceptions", "bom_parts", "bom_program",
+    "bom_query", "bom_source", "bom_subpart_edges",
     "chain_database", "chain_edges", "cycle_database", "cycle_edges",
     "grid_edges", "load_edges", "random_dag_database", "random_dag_edges",
     "tree_database", "tree_edges",

@@ -1,0 +1,161 @@
+"""Bill-of-materials-with-exceptions workloads (stratified negation).
+
+The classic scenario the stratified-negation subsystem exists for: a
+part-subpart tree (``subpart(P, S)``: assembly ``P`` directly contains
+``S``), an exception list of recalled/forbidden parts, and views that
+need set complement:
+
+* ``component(P, S)`` -- the transitive explosion (stratum 0);
+* ``tainted(P)``      -- parts that are exceptions or contain one
+  (stratum 0, positive);
+* ``clean(P, S)``     -- components *not* tainted (stratum 1, one
+  negation);
+* ``blocked(P)``      -- assemblies with at least one non-clean
+  component (stratum 2, negation over ``clean``);
+* ``buildable(P)``    -- parts with no blocked explosion (stratum 3;
+  the ``forall`` encoded as double negation).
+
+Generators are parameterized by tree ``depth``, ``fanout``, and an
+``exception_rate`` (per-part probability, seeded RNG), so benchmarks
+can scale the workload and CI can shrink it.  ``bom_source`` renders a
+complete ``.dl`` text (rules + facts + query) for the CLI:
+
+    python -m repro workload bom --depth 4 --fanout 2 \\
+        --exception-rate 0.15 --seed 7 > bom.dl
+    python -m repro query bom.dl --method seminaive
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..datalog.ast import Program, Query
+from ..datalog.database import Database
+from ..datalog.parser import parse_program, parse_query
+
+__all__ = [
+    "BOM",
+    "bom_program",
+    "bom_parts",
+    "bom_subpart_edges",
+    "bom_exceptions",
+    "bom_database",
+    "bom_source",
+    "bom_query",
+]
+
+BOM = """
+component(P, S) :- subpart(P, S).
+component(P, S) :- subpart(P, M), component(M, S).
+tainted(P) :- exception(P).
+tainted(P) :- component(P, S), exception(S).
+clean(P, S) :- component(P, S), not tainted(S).
+blocked(P) :- component(P, S), not clean(P, S).
+buildable(P) :- part(P), not blocked(P).
+"""
+
+
+def bom_program() -> Program:
+    """The BOM-with-exceptions program (4 strata, 3 negations)."""
+    return parse_program(BOM).program
+
+
+def _part_count(depth: int, fanout: int) -> int:
+    total = 1
+    level = 1
+    for _ in range(depth):
+        level *= fanout
+        total += level
+    return total
+
+
+def bom_parts(depth: int, fanout: int = 2) -> List[str]:
+    """Part names ``p0..pN`` of a complete ``fanout``-ary tree."""
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    return [f"p{i}" for i in range(_part_count(depth, fanout))]
+
+
+def bom_subpart_edges(
+    depth: int, fanout: int = 2
+) -> List[Tuple[str, str]]:
+    """Direct part-subpart edges, heap-numbered (root ``p0``)."""
+    total = _part_count(depth, fanout)
+    edges: List[Tuple[str, str]] = []
+    for i in range(total):
+        for c in range(fanout * i + 1, fanout * i + fanout + 1):
+            if c >= total:
+                break
+            edges.append((f"p{i}", f"p{c}"))
+    return edges
+
+
+def bom_exceptions(
+    depth: int,
+    fanout: int = 2,
+    exception_rate: float = 0.1,
+    seed: int = 0,
+) -> List[str]:
+    """The exception list: each non-root part independently, seeded."""
+    if not 0.0 <= exception_rate <= 1.0:
+        raise ValueError("exception_rate must be within [0, 1]")
+    rng = random.Random(seed)
+    out = []
+    for part in bom_parts(depth, fanout)[1:]:
+        if rng.random() < exception_rate:
+            out.append(part)
+    return out
+
+
+def bom_database(
+    depth: int,
+    fanout: int = 2,
+    exception_rate: float = 0.1,
+    seed: int = 0,
+) -> Database:
+    """``subpart`` / ``part`` / ``exception`` relations for one tree."""
+    database = Database()
+    database.add_values("subpart", bom_subpart_edges(depth, fanout))
+    database.add_values(
+        "part", [(p,) for p in bom_parts(depth, fanout)]
+    )
+    exceptions = bom_exceptions(depth, fanout, exception_rate, seed)
+    if exceptions:
+        database.add_values("exception", [(p,) for p in exceptions])
+    return database
+
+
+def bom_query(root: Optional[str] = None) -> Query:
+    """``buildable(P)?``, or ``clean(root, S)?`` when a root is given."""
+    if root is None:
+        return parse_query("buildable(P)?")
+    return parse_query(f"clean({root}, S)?")
+
+
+def bom_source(
+    depth: int,
+    fanout: int = 2,
+    exception_rate: float = 0.1,
+    seed: int = 0,
+    query: Optional[str] = None,
+) -> str:
+    """A complete ``.dl`` source: rules, generated facts, and a query."""
+    lines = [
+        "% bill of materials with exceptions "
+        f"(depth={depth}, fanout={fanout}, "
+        f"exception_rate={exception_rate}, seed={seed})",
+        BOM.strip(),
+        "",
+    ]
+    for src, dst in bom_subpart_edges(depth, fanout):
+        lines.append(f"subpart({src}, {dst}).")
+    for part in bom_parts(depth, fanout):
+        lines.append(f"part({part}).")
+    for part in bom_exceptions(depth, fanout, exception_rate, seed):
+        lines.append(f"exception({part}).")
+    lines.append("")
+    lines.append(query if query is not None else "buildable(P)?")
+    return "\n".join(lines) + "\n"

@@ -10,7 +10,7 @@ ancestry is visible by eye.
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from ..datalog.database import Database
 

@@ -14,7 +14,6 @@ example in the body text) is included as well.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 from ..datalog.ast import Literal, Program, Query
 from ..datalog.parser import parse_program

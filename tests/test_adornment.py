@@ -4,7 +4,6 @@ import pytest
 
 from repro import (
     AdornmentError,
-    Constant,
     Literal,
     Query,
     Variable,

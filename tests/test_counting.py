@@ -3,7 +3,6 @@
 import pytest
 
 from repro import (
-    Database,
     NonTerminationError,
     RewriteError,
     adorn_program,

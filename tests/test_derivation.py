@@ -7,8 +7,7 @@ fact at the root and base facts at the leaves.
 import pytest
 
 from repro import Constant, EvaluationError, Literal, parse_program
-from repro.datalog.database import Database
-from repro.datalog.derivation import DerivationNode, explain, fact_stages
+from repro.datalog.derivation import explain, fact_stages
 from repro.datalog.engine import evaluate
 from repro.workloads import ancestor_program, chain_database
 

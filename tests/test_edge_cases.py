@@ -1,7 +1,6 @@
 """Edge cases across the stack: constants in rules, propositional
 predicates, structured facts, repeated variables, empty databases."""
 
-import pytest
 
 from repro import (
     Constant,

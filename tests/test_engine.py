@@ -17,7 +17,6 @@ from repro import (
     evaluate_seminaive,
     parse_program,
     parse_query,
-    parse_rule,
 )
 from repro.workloads import chain_database, cycle_database
 

@@ -6,7 +6,6 @@ We approximate "every database" with randomized graphs and queries, and
 check every method against the naive bottom-up baseline.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

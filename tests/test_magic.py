@@ -3,11 +3,9 @@
 import pytest
 
 from repro import (
-    Constant,
     Literal,
     RewriteError,
     Variable,
-    adorn_program,
     build_chain_sip,
     magic_rewrite,
     parse_program,

@@ -9,7 +9,6 @@ from repro import (
     evaluate,
     rewrite,
 )
-from repro.core.optimality import OptimalityReport
 from repro.workloads import (
     ancestor_program,
     ancestor_query,

@@ -3,13 +3,7 @@
 
 import pytest
 
-from repro import (
-    Database,
-    answer_query,
-    bottom_up_answer,
-    rewrite,
-    unwrap_values,
-)
+from repro import Database, answer_query, bottom_up_answer
 from repro.workloads import (
     ancestor_program,
     ancestor_query,

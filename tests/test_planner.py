@@ -25,7 +25,6 @@ from repro import (
     evaluate_seminaive,
     order_body,
     parse_program,
-    parse_query,
     parse_rule,
 )
 from repro.workloads import (
@@ -40,7 +39,6 @@ from repro.workloads import (
     random_dag_database,
     reverse_query,
     samegen_database,
-    samegen_query,
 )
 
 
@@ -346,3 +344,57 @@ class TestPlannerProperty:
             program, db, query, method="magic", use_planner=True
         )
         assert planned.answers == legacy.answers
+
+
+class TestProgramHashCache:
+    """The structural hash is cached on the immutable Program, so
+    PlanCache lookups stop re-hashing every rule per call (ROADMAP
+    "Plan-cache identity")."""
+
+    def test_hash_computed_once(self, monkeypatch):
+        calls = {"n": 0}
+        original = Rule.__hash__
+
+        def counting(self):
+            calls["n"] += 1
+            return original(self)
+
+        monkeypatch.setattr(Rule, "__hash__", counting)
+        program = ancestor_program()
+        first = hash(program)
+        after_first = calls["n"]
+        assert after_first >= len(program.rules)  # the one real pass
+        for _ in range(10):
+            assert hash(program) == first
+        assert calls["n"] == after_first  # hit path never re-hashes
+
+    def test_plan_cache_hit_path_skips_rule_hashing(self, monkeypatch):
+        from repro import PlanCache, compiled_program_for
+
+        cache = PlanCache()
+        program = ancestor_program()
+        compiled, hit = compiled_program_for(program, cache)
+        assert not hit
+
+        def forbidden(self):
+            raise AssertionError(
+                "PlanCache hit re-hashed a Rule; Program._hash cache "
+                "is broken"
+            )
+
+        monkeypatch.setattr(Rule, "__hash__", forbidden)
+        for _ in range(3):
+            again, hit = compiled_program_for(program, cache)
+            assert hit and again is compiled
+
+    def test_equal_programs_share_cache_entry(self):
+        from repro import PlanCache, compiled_program_for
+
+        cache = PlanCache()
+        first = ancestor_program()
+        second = ancestor_program()
+        assert first is not second and first == second
+        compiled_a, hit_a = compiled_program_for(first, cache)
+        compiled_b, hit_b = compiled_program_for(second, cache)
+        assert not hit_a and hit_b
+        assert compiled_a is compiled_b

@@ -1,9 +1,7 @@
 """Provenance and RewrittenProgram behaviour (repro.core.provenance)."""
 
-import pytest
 
-from repro import Constant, evaluate, rewrite
-from repro.core.provenance import BodyOrigin, RuleProvenance
+from repro import evaluate, rewrite
 from repro.workloads import (
     ancestor_program,
     ancestor_query,

@@ -27,7 +27,6 @@ from repro import (
     Relation,
     Variable,
     adorn_program,
-    answer_query,
     build_chain_sip,
     build_empty_sip,
     build_full_sip,

@@ -1,10 +1,8 @@
 """Safety analyses -- Section 10 (experiment E9)."""
 
-import pytest
 
 from repro import (
     Constant,
-    Struct,
     Variable,
     adorn_program,
     counting_safety,

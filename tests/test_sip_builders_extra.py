@@ -1,10 +1,9 @@
 """Extra sip-builder coverage: right-to-left sips and the synthetic
 workload generator."""
 
-import pytest
 
 from repro import answer_query, bottom_up_answer, parse_query
-from repro.core.sips import build_full_sip, build_right_to_left_sip
+from repro.core.sips import build_right_to_left_sip
 from repro.workloads import (
     ancestor_program,
     load_edges,

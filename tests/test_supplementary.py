@@ -1,6 +1,5 @@
 """Generalized supplementary magic -- Section 5, Appendix A.4 (E3)."""
 
-import pytest
 
 from repro import parse_query, rewrite
 from repro.workloads import (

@@ -1,8 +1,7 @@
 """Generalized supplementary counting -- Section 7, Appendix A.6 (E5)."""
 
-import pytest
 
-from repro import evaluate, parse_query, rewrite
+from repro import evaluate, rewrite
 from repro.workloads import (
     ancestor_program,
     ancestor_query,

@@ -1,6 +1,5 @@
 """Unit tests for unification and matching (repro.datalog.unify)."""
 
-import pytest
 
 from repro import Constant, LinExpr, Struct, Variable
 from repro.datalog.unify import (
