@@ -9,7 +9,7 @@ full bottom-up evaluation.
 
 import pytest
 
-from repro import answer_query, bottom_up_answer
+from repro import Session
 from repro.workloads import (
     ancestor_program,
     ancestor_query,
@@ -32,19 +32,18 @@ METHODS = ("naive", "seminaive", "magic", "supplementary_magic", "qsq")
 @pytest.mark.parametrize("workload", sorted(WORKLOADS))
 def test_fact_counts(benchmark, workload):
     db_maker, root = WORKLOADS[workload]
-    program = ancestor_program()
     query = ancestor_query(root)
-    db = db_maker()
+    session = Session(program=ancestor_program(), database=db_maker())
 
-    baseline = bottom_up_answer(program, db, query, engine="naive")
-    rows = [["naive", len(baseline.answers), baseline.stats.facts_derived]]
+    baseline = session.query(query, method="naive")
+    rows = [["naive", len(baseline.rows), baseline.stats.facts_derived]]
     results = {"naive": baseline}
     for method in ("seminaive", "magic", "supplementary_magic", "qsq"):
-        answer = answer_query(program, db, query, method=method)
+        answer = session.query(query, method=method)
         results[method] = answer
         facts = answer.stats.facts_derived if answer.stats else "-"
-        rows.append([method, len(answer.answers), facts])
-        assert answer.answers == baseline.answers, method
+        rows.append([method, len(answer.rows), facts])
+        assert answer.rows == baseline.rows, method
 
     # the headline shape: magic derives fewer facts than full bottom-up
     assert (
@@ -57,23 +56,27 @@ def test_fact_counts(benchmark, workload):
         rows,
     )
 
-    benchmark(lambda: answer_query(program, db, query, method="magic"))
+    # bypass the answer memo: the benchmark measures evaluation
+    benchmark(
+        lambda: Session(
+            program=session.program, database=session.database
+        ).query(query, method="magic")
+    )
 
 
 def test_magic_scales_with_cone_not_graph(benchmark):
     """On a fixed tree, a deeper query root means a smaller cone and
     proportionally less magic work -- while naive work stays constant."""
-    program = ancestor_program()
-    db = tree_database(7)
-    naive_facts = bottom_up_answer(
-        program, db, ancestor_query("r"), engine="seminaive"
+    session = Session(program=ancestor_program(), database=tree_database(7))
+    naive_facts = session.query(
+        ancestor_query("r"), method="seminaive"
     ).stats.facts_derived
 
     rows = []
     previous = None
     for root in ("r", "r.0", "r.0.0", "r.0.0.0"):
-        answer = answer_query(program, db, ancestor_query(root), method="magic")
-        rows.append([root, len(answer.answers), answer.stats.facts_derived])
+        answer = session.query(ancestor_query(root), method="magic")
+        rows.append([root, len(answer.rows), answer.stats.facts_derived])
         if previous is not None:
             assert answer.stats.facts_derived < previous
         previous = answer.stats.facts_derived
@@ -83,7 +86,7 @@ def test_magic_scales_with_cone_not_graph(benchmark):
         rows,
     )
     benchmark(
-        lambda: answer_query(
-            program, db, ancestor_query("r.0.0"), method="magic"
-        )
+        lambda: Session(
+            program=session.program, database=session.database
+        ).query(ancestor_query("r.0.0"), method="magic")
     )

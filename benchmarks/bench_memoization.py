@@ -1,0 +1,191 @@
+"""Cross-evaluation answer memoization: cold evaluation vs memo hits.
+
+The Session memo (``repro.session``) serves a repeated identical query
+on an unchanged database from a dictionary keyed by
+``(query, options, database version)`` -- no adornment, no rewrite, no
+fixpoint.  This bench records the resulting wall-clock gap and the
+hit/miss/invalidation counters, and asserts the headline claims:
+
+* a warm (memoized) query is >= 100x faster than the cold evaluation
+  on a deep-enough workload (the gate arms at depth >= 100 and can be
+  disarmed with ``BENCH_TIMING_STRICT=0`` for noisy CI runners);
+* every mutation invalidates: after an assert/retract the next query
+  pays evaluation again, and returns the updated answers;
+* the memo is per (query, options) entry: different methods memoize
+  independently and all hit on repeat.
+
+``MEMO_BENCH_DEPTH`` shrinks the workload for CI smoke runs.
+"""
+
+import os
+import time
+
+from repro import Session
+from repro.workloads import (
+    ancestor_program,
+    ancestor_query,
+    bom_source,
+    chain_database,
+)
+
+from conftest import print_table, record_bench
+
+DEPTH = int(os.environ.get("MEMO_BENCH_DEPTH", "300"))
+WARM_REPEATS = 50
+
+#: the >=100x cold/warm gate only arms on real workloads and strict runs
+TIMING_STRICT = os.environ.get("BENCH_TIMING_STRICT", "1") != "0"
+GATE_ARMED = TIMING_STRICT and DEPTH >= 100
+
+
+def _timed(thunk):
+    t0 = time.perf_counter()
+    result = thunk()
+    return result, time.perf_counter() - t0
+
+
+def test_memo_hit_vs_cold_evaluation(benchmark):
+    session = Session(
+        program=ancestor_program(), database=chain_database(DEPTH)
+    )
+    query = ancestor_query("n0")
+
+    cold, cold_seconds = _timed(lambda: session.query(query))
+    assert not cold.from_memo
+    assert session.memo_misses == 1 and session.memo_hits == 0
+
+    warm_seconds = []
+    for _ in range(WARM_REPEATS):
+        warm, seconds = _timed(lambda: session.query(query))
+        assert warm.from_memo
+        assert warm.rows == cold.rows
+        warm_seconds.append(seconds)
+    assert session.memo_hits == WARM_REPEATS
+    assert session.memo_misses == 1
+
+    warm_avg = sum(warm_seconds) / len(warm_seconds)
+    ratio = cold_seconds / warm_avg if warm_avg else float("inf")
+    print_table(
+        f"memoization: ancestor chain depth {DEPTH}, "
+        f"{WARM_REPEATS} warm repeats",
+        ["phase", "seconds", "speedup"],
+        [
+            ["cold (evaluate)", f"{cold_seconds:.6f}", "1x"],
+            ["warm avg (memo hit)", f"{warm_avg:.8f}", f"{ratio:.0f}x"],
+            ["warm max", f"{max(warm_seconds):.8f}", "-"],
+        ],
+    )
+    record_bench(
+        {
+            "workload": "ancestor_chain",
+            "depth": DEPTH,
+            "warm_repeats": WARM_REPEATS,
+            "cold_seconds": round(cold_seconds, 6),
+            "warm_avg_seconds": round(warm_avg, 9),
+            "cold_over_warm": round(ratio, 1),
+            "memo_hits": session.memo_hits,
+            "memo_misses": session.memo_misses,
+            "gate_armed": GATE_ARMED,
+        }
+    )
+    if GATE_ARMED:
+        assert ratio >= 100, (
+            f"memo hit should be >=100x faster than cold evaluation, "
+            f"got {ratio:.0f}x (cold={cold_seconds:.6f}s, "
+            f"warm={warm_avg:.8f}s)"
+        )
+    benchmark(lambda: session.query(query))
+
+
+def test_mutation_invalidates_then_rememoizes(benchmark):
+    session = Session(
+        program=ancestor_program(), database=chain_database(DEPTH)
+    )
+    query = ancestor_query("n0")
+
+    first, cold_seconds = _timed(lambda: session.query(query))
+    session.add_values("par", [(f"n{DEPTH}", "tail")])
+    after_add, invalidated_seconds = _timed(lambda: session.query(query))
+    assert not after_add.from_memo, "mutation must drop the memo"
+    assert session.memo_invalidations >= 1
+    assert len(after_add.rows) == len(first.rows) + 1
+
+    hit, hit_seconds = _timed(lambda: session.query(query))
+    assert hit.from_memo
+
+    session.retract_values("par", [(f"n{DEPTH}", "tail")])
+    after_retract, _ = _timed(lambda: session.query(query))
+    assert not after_retract.from_memo
+    assert after_retract.rows == first.rows
+
+    print_table(
+        f"invalidation: ancestor chain depth {DEPTH}",
+        ["phase", "from_memo", "seconds"],
+        [
+            ["cold", first.from_memo, f"{cold_seconds:.6f}"],
+            ["after add", after_add.from_memo, f"{invalidated_seconds:.6f}"],
+            ["repeat", hit.from_memo, f"{hit_seconds:.8f}"],
+            ["after retract", after_retract.from_memo, "-"],
+        ],
+    )
+    record_bench(
+        {
+            "workload": "ancestor_chain_mutation",
+            "depth": DEPTH,
+            "cold_seconds": round(cold_seconds, 6),
+            "post_mutation_seconds": round(invalidated_seconds, 6),
+            "memo_hit_seconds": round(hit_seconds, 9),
+            "memo_invalidations": session.memo_invalidations,
+        }
+    )
+    benchmark(lambda: session.query(query))
+
+
+def test_memo_is_per_method_and_all_hit(benchmark):
+    session = Session(
+        program=ancestor_program(),
+        database=chain_database(max(20, DEPTH // 10)),
+    )
+    query = ancestor_query("n0")
+    methods = ("auto", "supplementary_magic", "magic", "qsq", "seminaive")
+
+    rows = []
+    baseline = None
+    for method in methods:
+        result, cold = _timed(lambda: session.query(query, method=method))
+        assert not result.from_memo
+        repeat, warm = _timed(lambda: session.query(query, method=method))
+        assert repeat.from_memo
+        if baseline is None:
+            baseline = result.rows
+        assert result.rows == baseline
+        rows.append([method, f"{cold:.6f}", f"{warm:.8f}"])
+    assert session.memo_misses == len(methods)
+    assert session.memo_hits == len(methods)
+    print_table(
+        "memoization is per (query, method) entry",
+        ["method", "cold s", "memo-hit s"],
+        rows,
+    )
+    benchmark(lambda: session.query(query, method="auto"))
+
+
+def test_memo_on_stratified_workload(benchmark):
+    """The memo sits above dispatch: stratified (negation) programs
+    memoize exactly like positive ones."""
+    session = Session(
+        bom_source(depth=6, fanout=2, exception_rate=0.15, seed=7)
+    )
+    cold, cold_seconds = _timed(lambda: session.query())
+    assert cold.method == "seminaive"  # auto fell back: program negates
+    warm, warm_seconds = _timed(lambda: session.query())
+    assert warm.from_memo and warm.rows == cold.rows
+    record_bench(
+        {
+            "workload": "bom_stratified",
+            "cold_seconds": round(cold_seconds, 6),
+            "memo_hit_seconds": round(warm_seconds, 9),
+            "answers": len(cold.rows),
+        }
+    )
+    benchmark(lambda: session.query())

@@ -25,7 +25,7 @@ import time
 
 from repro import (
     NonTerminationError,
-    answer_query,
+    Session,
     evaluate,
     rewrite,
     semijoin_optimize,
@@ -45,15 +45,15 @@ from conftest import print_table
 
 
 def test_gsms_does_less_join_work_than_gms(benchmark):
-    program = nonlinear_samegen_program()
     query = samegen_query("L0_0")
-    db = samegen_database(4, 6, flat_edges=10)
+    session = Session(
+        program=nonlinear_samegen_program(),
+        database=samegen_database(4, 6, flat_edges=10),
+    )
 
     stats = {}
     for method in ("magic", "supplementary_magic"):
-        answer = answer_query(
-            program, db, query, method=method, max_iterations=2000
-        )
+        answer = session.query(query, method=method, max_iterations=2000)
         stats[method] = answer.stats
     assert (
         stats["supplementary_magic"].tuples_scanned
@@ -73,10 +73,9 @@ def test_gsms_does_less_join_work_than_gms(benchmark):
         rows,
     )
     benchmark(
-        lambda: answer_query(
-            program, db, query, method="supplementary_magic",
-            max_iterations=2000,
-        )
+        lambda: Session(
+            program=session.program, database=session.database
+        ).query(query, method="supplementary_magic", max_iterations=2000)
     )
 
 
@@ -130,21 +129,20 @@ def test_cross_strategy_compiled_vs_compiled(benchmark):
     plain semi-naive, all answering the same query identically; the
     legacy QSQ path is asserted equivalent so CI catches divergence."""
     depth = int(os.environ.get("QSQ_BENCH_DEPTH", "80"))
-    program = ancestor_program()
     query = ancestor_query("n0")
-    db = chain_database(depth)
+    session = Session(
+        program=ancestor_program(), database=chain_database(depth)
+    )
 
     timings = {}
     answers = {}
     for method in ("qsq", "magic", "supplementary_magic", "seminaive"):
         t0 = time.perf_counter()
-        result = answer_query(program, db, query, method=method)
+        result = session.query(query, method=method)
         timings[method] = time.perf_counter() - t0
-        answers[method] = result.answers
-    legacy_qsq = answer_query(
-        program, db, query, method="qsq", use_planner=False
-    )
-    assert legacy_qsq.answers == answers["qsq"]
+        answers[method] = result.rows
+    legacy_qsq = session.query(query, method="qsq", use_planner=False)
+    assert legacy_qsq.rows == answers["qsq"]
     baseline = answers["qsq"]
     for method, got in answers.items():
         assert got == baseline, f"{method} diverged from qsq"
@@ -156,7 +154,13 @@ def test_cross_strategy_compiled_vs_compiled(benchmark):
             for m in timings
         ],
     )
-    benchmark(lambda: answer_query(program, db, query, method="qsq"))
+    # fresh session per iteration: the memo would otherwise turn the
+    # benchmark into a dictionary-lookup measurement
+    benchmark(
+        lambda: Session(
+            program=session.program, database=session.database
+        ).query(query, method="qsq")
+    )
 
 
 def test_counting_diverges_where_magic_terminates(benchmark):

@@ -5,33 +5,27 @@ Scenario: users are granted roles; roles inherit from other roles
 "can alice read the ledger?" is a recursive query, and an *audit*
 must justify every positive answer.
 
-This combines two pieces of the library:
+This combines two pieces of the library through one
+:class:`repro.Session`:
 
-* the magic rewrite restricts evaluation to alice's role cone (not the
-  whole company's), and
-* derivation trees (Section 1.1 of the paper; ``repro.datalog.derivation``)
-  print the chain of grants behind each authorization.
+* the magic rewrite (chosen explicitly here; ``method="auto"`` would
+  pick the supplementary variant) restricts evaluation to alice's role
+  cone, not the whole company's, and
+* ``result.explain()`` prints the chain of grants behind each
+  authorization (derivation trees, Section 1.1 of the paper);
+* revoking a grant (:meth:`Session.retract`) invalidates the memoized
+  answers, and the re-query reflects the revocation.
 
 Run::
 
     python examples/access_control_audit.py
 """
 
-from repro import (
-    Constant,
-    Literal,
-    answer_query,
-    evaluate,
-    explain,
-    fact_stages,
-    parse_program,
-    parse_query,
-)
-from repro.datalog.database import Database
+from repro import Session
 
 
 def main() -> None:
-    program, _, _ = parse_program(
+    session = Session(
         """
         % role reachability: a user holds a role directly or through
         % role inheritance
@@ -42,8 +36,7 @@ def main() -> None:
         """
     )
 
-    database = Database()
-    database.add_values(
+    session.add_values(
         "granted",
         [
             ("alice", "accountant"),
@@ -51,7 +44,7 @@ def main() -> None:
             ("carol", "cfo"),
         ],
     )
-    database.add_values(
+    session.add_values(
         "inherits",
         [
             ("cfo", "controller"),
@@ -60,7 +53,7 @@ def main() -> None:
             ("intern", "visitor"),
         ],
     )
-    database.add_values(
+    session.add_values(
         "permits",
         [
             ("clerk", "read", "ledger"),
@@ -70,32 +63,32 @@ def main() -> None:
         ],
     )
 
-    query = parse_query("can(alice, A, Res)?")
-    print("query:", query)
-    answer = answer_query(program, database, query, method="magic")
+    print("query: can(alice, A, Res)?")
+    answer = session.query("can(alice, A, Res)?", method="magic")
     print("alice may:")
     for action, resource in sorted(answer.values()):
         print(f"   {action} {resource}")
     print()
 
-    # audit: derive the full model once, then explain each authorization
-    result = evaluate(program, database)
-    stages = fact_stages(program, database, result)
+    # audit: one proof tree per authorization, straight off the result
     print("audit trail:")
-    for action, resource in sorted(answer.values()):
-        fact = Literal(
-            "can", (Constant("alice"), Constant(action), Constant(resource))
-        )
-        tree = explain(program, database, result, fact, _stages=stages)
+    for tree in answer.explain():
         print(tree.render(indent="   "))
         print()
 
     # the magic rewrite stays inside alice's cone: carol's cfo chain is
     # never explored
-    magic_facts = answer.evaluation.database.tuples("magic_holds_bf")
+    magic_facts = answer.answer.evaluation.database.tuples("magic_holds_bf")
     explored = {str(row[0]) for row in magic_facts}
     print("users/roles explored by the magic rewrite:", sorted(explored))
     assert "carol" not in explored
+
+    # revoke alice's grant: the memo drops, the re-query reflects it
+    session.retract("granted(alice, accountant)")
+    revoked = session.query("can(alice, A, Res)?", method="magic")
+    print()
+    print("after revoking accountant:", sorted(revoked.values()) or "nothing")
+    assert not revoked.rows
 
 
 if __name__ == "__main__":

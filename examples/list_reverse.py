@@ -6,6 +6,11 @@ builds ever-larger lists.  The magic rewrite makes it terminate -- the
 binding graph's cycles all have positive length (Theorem 10.1): every
 recursive call strips one cons cell off the bound argument.
 
+This example deliberately stays on the *legacy* module-level API
+(``adorn_program`` / ``rewrite`` / ``answer_query``): those functions
+are now thin shims over :class:`repro.Session` (see the other examples
+for the session-first style), and this script keeps them exercised.
+
 Run::
 
     python examples/list_reverse.py

@@ -1,30 +1,31 @@
-"""Quickstart: the paper's opening example, end to end.
+"""Quickstart: the paper's opening example through the Session API.
 
 The ancestor program asks for the ancestors of ``john``.  Plain
 bottom-up evaluation computes the *entire* ancestor relation and then
 selects; the magic-sets rewrite restricts the computation to facts
-relevant to the query (Section 1 of the paper).
+relevant to the query (Section 1 of the paper).  A
+:class:`repro.Session` picks the rewrite automatically
+(``method="auto"``) and memoizes answers across evaluations.
 
 Run::
 
     python examples/quickstart.py
 """
 
-from repro import answer_query, bottom_up_answer, parse_program, parse_query, rewrite
-from repro.datalog.database import Database
+from repro import Session
 
 
 def main() -> None:
-    source = """
+    session = Session(
+        """
         % the ancestor program (Section 1)
         anc(X, Y) :- par(X, Y).
         anc(X, Y) :- par(X, Z), anc(Z, Y).
-    """
-    program, _, _ = parse_program(source)
+        """
+    )
 
     # a small genealogy: john's line plus an unrelated clan
-    database = Database()
-    database.add_values(
+    session.add_values(
         "par",
         [
             ("john", "mary"),
@@ -40,32 +41,38 @@ def main() -> None:
         ],
     )
 
-    query = parse_query("anc(john, Y)?")
-
-    print("query:", query)
+    print("query: anc(john, Y)?")
     print()
 
     # 1. the strawman: evaluate everything bottom-up, then select
-    naive = bottom_up_answer(program, database, query, engine="naive")
+    naive = session.query("anc(john, Y)?", method="naive")
     print("naive bottom-up answers :", sorted(naive.values()))
     print("  facts derived         :", naive.stats.facts_derived)
 
-    # 2. the magic-sets rewrite
-    rewritten = rewrite(program, query, method="magic")
+    # 2. auto dispatch: the session picks the magic-family rewrite
+    auto = session.query("anc(john, Y)?")
     print()
-    print("the generalized magic-sets rewrite (Section 4):")
-    for line in str(rewritten).splitlines():
-        print("   ", line)
-
-    magic = answer_query(program, database, query, method="magic")
-    print()
-    print("magic answers           :", sorted(magic.values()))
-    print("  facts derived         :", magic.stats.facts_derived)
+    print("auto-dispatched method  :", auto.method)
+    print("answers                 :", sorted(auto.values()))
+    print("  facts derived         :", auto.stats.facts_derived)
     print(
         "  restriction           : magic computes only john's cone;"
         " zeus' clan is never touched"
     )
-    assert magic.answers == naive.answers
+    assert auto.rows == naive.rows
+
+    # 3. ask again: the answer comes from the cross-evaluation memo
+    again = session.query("anc(john, Y)?")
+    print()
+    print("asked again             : from_memo =", again.from_memo)
+    assert again.from_memo and again.rows == auto.rows
+
+    # 4. a new fact invalidates the memo; the next query re-evaluates
+    session.add("par(ann, zoe)")
+    fresh = session.query("anc(john, Y)?")
+    print("after add(par(ann, zoe)): from_memo =", fresh.from_memo)
+    assert not fresh.from_memo
+    assert ("zoe",) in fresh.values()
 
 
 if __name__ == "__main__":

@@ -7,38 +7,39 @@ management chain, moving across a committee, and descending the same
 number of levels -- the paper's nonlinear same-generation program
 (Example 1).
 
-The script compares all four rewriting strategies plus the top-down
-baseline on fact counts and rule firings, illustrating the Section 11
-discussion (GSMS trades memory for fewer duplicate joins; counting adds
-indices that pay off with the semijoin optimization).
+The script drives all four rewriting strategies plus the top-down
+baseline through one :class:`repro.Session` and compares fact counts
+and rule firings, illustrating the Section 11 discussion (GSMS trades
+memory for fewer duplicate joins; counting adds indices that pay off
+with the semijoin optimization).
 
 Run::
 
     python examples/same_generation_org_chart.py
 """
 
-from repro import answer_query, bottom_up_answer, parse_program, parse_query
+from repro import Session
 from repro.workloads import samegen_database
 
 
 def main() -> None:
-    program, _, _ = parse_program(
+    # a 4-level org with 6 employees per level
+    session = Session(
         """
         peer(X, Y) :- flat(X, Y).
         peer(X, Y) :- up(X, Z1), peer(Z1, Z2), flat(Z2, Z3),
                       peer(Z3, Z4), down(Z4, Y).
-        """
+        """,
+        database=samegen_database(layers=4, width=6, flat_edges=10, seed=11),
     )
-    # a 4-level org with 6 employees per level
-    database = samegen_database(layers=4, width=6, flat_edges=10, seed=11)
     # node names start with an uppercase L, so quote them: unquoted they
     # would parse as variables
-    query = parse_query('peer("L0_0", Y)?')
+    query = 'peer("L0_0", Y)?'
 
     print("query:", query)
-    baseline = bottom_up_answer(program, database, query)
+    baseline = session.query(query, method="seminaive")
     print(
-        f"semi-naive baseline: {len(baseline.answers)} answers, "
+        f"semi-naive baseline: {len(baseline.rows)} answers, "
         f"{baseline.stats.facts_derived} facts derived"
     )
     print()
@@ -52,19 +53,17 @@ def main() -> None:
         "counting",
         "supplementary_counting",
     ):
-        answer = answer_query(
-            program, database, query, method=method, max_iterations=1000
-        )
-        assert answer.answers == baseline.answers
+        answer = session.query(query, method=method, max_iterations=1000)
+        assert answer.rows == baseline.rows
         stats = answer.stats
         print(
-            f"{method:<26}{len(answer.answers):>8}"
+            f"{method:<26}{len(answer.rows):>8}"
             f"{stats.facts_derived:>8}{stats.rule_firings:>9}"
             f"{stats.join_probes:>9}"
         )
-    qsq = answer_query(program, database, query, method="qsq")
-    assert qsq.answers == baseline.answers
-    print(f"{'qsq (top-down)':<26}{len(qsq.answers):>8}{'-':>8}{'-':>9}{'-':>9}")
+    qsq = session.query(query, method="qsq")
+    assert qsq.rows == baseline.rows
+    print(f"{'qsq (top-down)':<26}{len(qsq.rows):>8}{'-':>8}{'-':>9}{'-':>9}")
 
     print()
     print(

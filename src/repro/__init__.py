@@ -15,21 +15,23 @@ The package has three layers:
 * :mod:`repro.workloads` -- synthetic data generators used by the
   benchmark harness.
 
+The public surface is the stateful :class:`repro.Session` (versioned
+database, auto-dispatched queries, cross-evaluation answer memo); the
+module-level functions (``parse_program`` + ``answer_query``) remain as
+one-shot shims over it.
+
 Quickstart::
 
     import repro
 
-    source = '''
+    session = repro.Session('''
         anc(X, Y) :- par(X, Y).
         anc(X, Y) :- par(X, Z), anc(Z, Y).
-    '''
-    program, _, _ = repro.parse_program(source)
-    db = repro.Database()
-    db.add_values("par", [("john", "mary"), ("mary", "sue")])
-    answer = repro.answer_query(
-        program, db, repro.parse_query("anc(john, Y)?")
-    )
-    assert ("mary",) in answer.values()
+    ''')
+    session.add_values("par", [("john", "mary"), ("mary", "sue")])
+    result = session.query("anc(john, Y)?")   # method="auto"
+    assert ("mary",) in result.values()
+    assert session.query("anc(john, Y)?").from_memo
 """
 
 from .datalog import (
@@ -120,8 +122,14 @@ from .core import (
     supplementary_magic_rewrite,
     unwrap_values,
 )
+from .session import (
+    BASELINE_METHODS,
+    SESSION_METHODS,
+    QueryResult,
+    Session,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -156,4 +164,6 @@ __all__ = [
     "check_optimality", "compare_sips",
     "rewrite", "answer_query", "bottom_up_answer", "unwrap_values",
     "RewrittenProgram", "QueryAnswer", "REWRITE_METHODS",
+    # session
+    "Session", "QueryResult", "SESSION_METHODS", "BASELINE_METHODS",
 ]

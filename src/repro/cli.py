@@ -8,8 +8,11 @@ Commands
         --method supplementary_magic [--sip chain] [--semijoin]
 
 ``query``     answer a query (facts may live in the .dl file or a CSV-ish
-              facts file given with --facts)
+              facts file given with --facts); runs through a
+              :class:`repro.Session`, so ``--method auto`` dispatches
+              per query and ``--repeat N`` exercises the answer memo
     python -m repro query program.dl --query "anc(john, Y)?" --method magic
+    python -m repro query program.dl --method auto --repeat 3 --stats
 
 ``adorn``     print the adorned program P^ad
 ``safety``    print the Section 10 safety verdicts (plus the safe-negation
@@ -36,13 +39,14 @@ import sys
 from typing import List, Optional
 
 from .core.adornment import adorn_program
-from .core.pipeline import REWRITE_METHODS, answer_query, rewrite
+from .core.pipeline import REWRITE_METHODS, rewrite
 from .core.safety import counting_safety, magic_safety, negation_safety
 from .core.stratify import stratify
 from .core.sips import build_chain_sip, build_empty_sip, build_full_sip
 from .datalog.database import Database
 from .datalog.errors import ReproError
 from .datalog.parser import parse_program, parse_query
+from .session import BASELINE_METHODS, Session
 from .workloads.bom import bom_source
 
 __all__ = ["main", "build_parser"]
@@ -53,8 +57,8 @@ _SIP_BUILDERS = {
     "empty": build_empty_sip,
 }
 
-#: baseline strategies answer_query accepts besides the rewrite methods
-_BASELINE_METHODS = ("naive", "seminaive", "qsq")
+#: baseline strategies Session accepts besides the rewrite methods
+_BASELINE_METHODS = BASELINE_METHODS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -90,12 +94,13 @@ def build_parser() -> argparse.ArgumentParser:
         if with_method:
             p.add_argument(
                 "--method",
-                choices=REWRITE_METHODS + _BASELINE_METHODS,
+                choices=("auto",) + REWRITE_METHODS + _BASELINE_METHODS,
                 default="supplementary_magic",
-                help="rewrite method, or a baseline: plain bottom-up "
-                "(naive/seminaive) or top-down qsq; programs using "
-                "negation require naive/seminaive (stratified "
-                "evaluation), the other methods reject them",
+                help="rewrite method, a baseline (plain bottom-up "
+                "naive/seminaive or top-down qsq), or auto: magic-"
+                "family rewriting for positive programs, stratified "
+                "semi-naive when the program negates; the explicit "
+                "rewrite methods and qsq reject negation",
             )
             p.add_argument(
                 "--mode",
@@ -138,6 +143,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-planner", action="store_true",
         help="run the legacy interpretive join instead of compiled join "
         "plans (A/B comparison; answers are identical)",
+    )
+    p_query.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="answer the query N times through one session: repeats "
+        "after the first are served from the cross-evaluation answer "
+        "memo (see --stats for the hit counters)",
     )
 
     p_adorn = sub.add_parser("adorn", help="print the adorned program")
@@ -222,9 +236,9 @@ def _load(args) -> tuple:
 
 def _cmd_rewrite(args) -> int:
     program, _, query = _load(args)
-    if args.method in _BASELINE_METHODS:
+    if args.method in _BASELINE_METHODS + ("auto",):
         raise ReproError(
-            f"--method {args.method} is an evaluation baseline, not a "
+            f"--method {args.method} is an evaluation strategy, not a "
             "rewrite; use it with the query command"
         )
     rewritten = rewrite(
@@ -242,50 +256,62 @@ def _cmd_rewrite(args) -> int:
 
 def _cmd_query(args) -> int:
     program, database, query = _load(args)
-    answer = answer_query(
-        program,
-        database,
-        query,
-        method=args.method,
-        engine=args.engine,
-        sip_builder=_SIP_BUILDERS[args.sip],
-        mode=args.mode,
-        semijoin=args.semijoin,
-        optimize=not args.no_optimize,
-        max_iterations=args.max_iterations,
+    session = Session(
+        program=program,
+        database=database,
         use_planner=not args.no_planner,
+        sip_builder=_SIP_BUILDERS[args.sip],
     )
+    repeat = max(1, args.repeat)
+    result = None
+    for _ in range(repeat):
+        result = session.query(
+            query,
+            method=args.method,
+            engine=args.engine,
+            mode=args.mode,
+            semijoin=args.semijoin,
+            optimize=not args.no_optimize,
+            max_iterations=args.max_iterations,
+        )
     free_vars = [v.name for v in query.free_variables()]
     if not free_vars:
-        print("yes" if answer.answers else "no")
+        print("yes" if result.rows else "no")
     else:
         header = ", ".join(free_vars)
         print(f"% bindings for ({header})")
-        for row in sorted(answer.answers, key=str):
+        for row in sorted(result.rows, key=str):
             print(", ".join(str(term) for term in row))
-    if args.stats and answer.stats is not None:
-        stats = answer.stats
-        if answer.strategy == "qsq":
+    if args.stats and result.stats is not None:
+        stats = result.stats
+        answer = result.answer
+        if result.method == "qsq":
             # the top-down evaluator does not track firings/probes;
             # printing zeros would misreport real join work as absent
-            print(
-                f"% facts={stats.facts_derived} "
+            work = (
+                f"facts={stats.facts_derived} "
                 f"iterations={stats.iterations} "
-                f"subqueries={answer.qsq.subqueries_generated} "
-                f"plan_cache_hits={stats.plan_cache_hits} "
-                f"plan_cache_misses={stats.plan_cache_misses}",
-                file=sys.stderr,
+                f"subqueries={answer.qsq.subqueries_generated}"
             )
         else:
-            print(
-                f"% facts={stats.facts_derived} "
+            work = (
+                f"facts={stats.facts_derived} "
                 f"firings={stats.rule_firings} "
                 f"iterations={stats.iterations} "
-                f"probes={stats.join_probes} "
-                f"plan_cache_hits={stats.plan_cache_hits} "
-                f"plan_cache_misses={stats.plan_cache_misses}",
-                file=sys.stderr,
+                f"probes={stats.join_probes}"
             )
+        # on a memo-served result the work counters describe the cold
+        # evaluation that produced the rows, hence the memo= label
+        print(
+            f"% method={result.method} "
+            f"memo={'hit' if result.from_memo else 'miss'} {work} "
+            f"plan_cache_hits={stats.plan_cache_hits} "
+            f"plan_cache_misses={stats.plan_cache_misses} "
+            f"memo_hits={session.memo_hits} "
+            f"memo_misses={session.memo_misses} "
+            f"db_version={session.version}",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -46,7 +46,12 @@ from .provenance import (
     RuleProvenance,
 )
 
-__all__ = ["counting_rewrite", "IndexScheme", "NumericIndexScheme", "StructuralIndexScheme"]
+__all__ = [
+    "counting_rewrite",
+    "IndexScheme",
+    "NumericIndexScheme",
+    "StructuralIndexScheme",
+]
 
 #: Functor of structural index terms.
 STRUCT_INDEX_FUNCTOR = "ix"

@@ -36,7 +36,7 @@ from ..datalog.engine import (
 )
 from ..datalog.errors import RewriteError
 from ..datalog.terms import Constant, Term
-from ..datalog.topdown import QSQResult, qsq_evaluate
+from ..datalog.topdown import QSQResult
 from .adornment import AdornedProgram, adorn_program
 from .counting import counting_rewrite
 from .magic import magic_rewrite
@@ -149,76 +149,53 @@ def answer_query(
     max_iterations: Optional[int] = None,
     max_facts: Optional[int] = None,
     use_planner: bool = True,
+    plan_cache=None,
 ) -> QueryAnswer:
-    """Answer a query end to end.
+    """Answer a query end to end (legacy one-shot shim).
 
-    ``method`` is a rewrite method, or one of the baselines:
+    ``method`` is a rewrite method, one of the baselines --
     ``"naive"`` / ``"seminaive"`` (bottom-up on the original program,
-    then select/project -- the Section 1 strawman) or ``"qsq"``
-    (top-down on the adorned program).
+    then select/project: the Section 1 strawman) or ``"qsq"`` (top-down
+    on the adorned program) -- or ``"auto"`` to let the dispatcher
+    choose.
 
     Programs with negated body literals (stratified negation) are only
     evaluable by the bottom-up baselines, which run stratum by stratum;
     the rewrite methods and ``qsq`` raise
-    :class:`~repro.datalog.errors.UnsupportedProgramError` for them.
+    :class:`~repro.datalog.errors.UnsupportedProgramError` for them,
+    while ``"auto"`` falls back to stratified semi-naive.
 
     ``use_planner`` selects the execution path for both bottom-up and
     QSQ strategies: compiled plans (default) or the legacy interpretive
     evaluators -- the two are answer-equivalent, so A/B comparisons only
     move the work counters.
+
+    This is now a thin shim over :class:`repro.session.Session`, which
+    is the surface shaped for repeated traffic (stateful database,
+    cross-evaluation answer memo, cached rewrites); a one-shot call
+    constructs an ephemeral session, so it pays the rewrite and the
+    evaluation every time but still shares the process-wide plan cache.
     """
-    if method in ("naive", "seminaive"):
-        return bottom_up_answer(
-            program, database, query, method, max_iterations, max_facts,
-            use_planner,
-        )
-    if method == "qsq":
-        adorned = adorn_program(program, query, sip_builder)
-        qsq = qsq_evaluate(
-            adorned.program,
-            database,
-            adorned.query_literal,
-            max_iterations=max_iterations,
-            max_facts=max_facts,
-            use_planner=use_planner,
-        )
-        stats = EvaluationStats(
-            iterations=qsq.iterations,
-            facts_derived=qsq.answer_count(),
-            plan_cache_hits=qsq.plan_cache_hits,
-            plan_cache_misses=qsq.plan_cache_misses,
-        )
-        return QueryAnswer(
-            answers=qsq.query_answers(adorned.query_literal),
-            strategy="qsq",
-            stats=stats,
-            qsq=qsq,
-        )
-    rewritten = rewrite(
-        program,
+    from ..session import Session
+
+    session = Session(
+        program=program,
+        database=database,
+        use_planner=use_planner,
+        sip_builder=sip_builder,
+        plan_cache=plan_cache,
+    )
+    result = session.query(
         query,
         method=method,
-        sip_builder=sip_builder,
+        engine=engine,
         mode=mode,
         optimize=optimize,
         semijoin=semijoin,
-    )
-    seeded = rewritten.seeded_database(database)
-    result = evaluate(
-        rewritten.program,
-        seeded,
-        method=engine,
         max_iterations=max_iterations,
         max_facts=max_facts,
-        use_planner=use_planner,
     )
-    return QueryAnswer(
-        answers=rewritten.extract_answers(result),
-        strategy=method,
-        stats=result.stats,
-        rewritten=rewritten,
-        evaluation=result,
-    )
+    return result.answer
 
 
 def bottom_up_answer(
@@ -229,6 +206,7 @@ def bottom_up_answer(
     max_iterations: Optional[int] = None,
     max_facts: Optional[int] = None,
     use_planner: bool = True,
+    plan_cache=None,
 ) -> QueryAnswer:
     """The Section 1 strawman: evaluate everything, then select."""
     result = evaluate(
@@ -238,6 +216,7 @@ def bottom_up_answer(
         max_iterations=max_iterations,
         max_facts=max_facts,
         use_planner=use_planner,
+        plan_cache=plan_cache,
     )
     return QueryAnswer(
         answers=answer_tuples(result, query.literal),

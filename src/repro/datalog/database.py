@@ -10,6 +10,20 @@ the paper's transformations are designed to enable.
 
 A :class:`Database` is a mapping from predicate keys (see
 :attr:`Literal.pred_key`) to relations.
+
+Versioning
+----------
+
+Every relation carries a monotone :attr:`Relation.version` counter that
+is bumped exactly when the stored tuple set actually changes (a new
+tuple inserted, an existing tuple retracted); no-op mutations -- adding
+a duplicate, retracting an absent tuple -- leave it untouched.  A
+database's :attr:`Database.version` is the sum of its relations'
+counters, so *any* mutation path (the ``Database`` convenience methods
+as well as direct ``database.relation(key).add(...)`` calls) advances
+it.  The counter is what makes cross-evaluation answer memoization
+(:mod:`repro.session`) cheap: a memoized answer is valid exactly while
+the version it was computed at is still current.
 """
 
 from __future__ import annotations
@@ -30,13 +44,18 @@ class Relation:
     Indexes are keyed by a sorted tuple of positions; each maps the
     projection of a tuple on those positions to the list of tuples with
     that projection.
+
+    :attr:`version` counts the mutations that changed the tuple set
+    (inserts of new tuples, retractions of present ones); it is monotone
+    and feeds :attr:`Database.version`.
     """
 
-    __slots__ = ("name", "arity", "_tuples", "_indexes")
+    __slots__ = ("name", "arity", "version", "_tuples", "_indexes")
 
     def __init__(self, name: str, arity: Optional[int] = None):
         self.name = name
         self.arity = arity
+        self.version = 0
         self._tuples: Set[FactTuple] = set()
         self._indexes: Dict[Tuple[int, ...], Dict[FactTuple, List[FactTuple]]] = {}
 
@@ -67,6 +86,7 @@ class Relation:
         if row in self._tuples:
             return False
         self._tuples.add(row)
+        self.version += 1
         for positions, index in self._indexes.items():
             key = tuple(row[i] for i in positions)
             index.setdefault(key, []).append(row)
@@ -112,6 +132,7 @@ class Relation:
         if not fresh:
             return 0
         tuples |= fresh
+        self.version += len(fresh)
         for positions, index in self._indexes.items():
             setdefault = index.setdefault
             # specialized key construction: the generator-expression
@@ -209,9 +230,40 @@ class Relation:
             index = self._build_index(positions)
         return index.get(key, [])
 
+    def discard(self, row: Iterable[Term]) -> bool:
+        """Retract a tuple; returns True when it was present.
+
+        Registered indexes are kept consistent: the row is removed from
+        every index bucket it projects into, and emptied buckets are
+        dropped so absent keys keep answering with the shared empty
+        list.
+        """
+        row = tuple(row)
+        if row not in self._tuples:
+            return False
+        self._tuples.discard(row)
+        self.version += 1
+        for positions, index in self._indexes.items():
+            key = tuple(row[i] for i in positions)
+            bucket = index.get(key)
+            if bucket is None:
+                continue
+            try:
+                bucket.remove(row)
+            except ValueError:
+                pass
+            if not bucket:
+                del index[key]
+        return True
+
+    def discard_many(self, rows: Iterable[Iterable[Term]]) -> int:
+        """Retract many tuples; returns the number that were present."""
+        return sum(1 for row in rows if self.discard(row))
+
     def copy(self) -> "Relation":
         duplicate = Relation(self.name, self.arity)
         duplicate._tuples = set(self._tuples)
+        duplicate.version = self.version
         return duplicate
 
     def __repr__(self):
@@ -258,8 +310,52 @@ class Database:
         return self.relation(pred_key).add_many(wrapped)
 
     # ------------------------------------------------------------------
+    # retraction
+    # ------------------------------------------------------------------
+    def retract_fact(self, literal: Literal) -> bool:
+        """Retract a ground literal; returns True when it was present."""
+        if not literal.is_ground():
+            raise ValueError(f"fact {literal} is not ground")
+        rel = self._relations.get(literal.pred_key)
+        if rel is None:
+            return False
+        return rel.discard(literal.args)
+
+    def retract_facts(self, literals: Iterable[Literal]) -> int:
+        return sum(1 for lit in literals if self.retract_fact(lit))
+
+    def retract_tuples(
+        self, pred_key: str, rows: Iterable[Iterable[Term]]
+    ) -> int:
+        rel = self._relations.get(pred_key)
+        if rel is None:
+            return 0
+        return rel.discard_many(rows)
+
+    def retract_values(
+        self, pred_key: str, rows: Iterable[Iterable[object]]
+    ) -> int:
+        """Retract rows of raw Python values, wrapping them in Constants."""
+        wrapped = (tuple(Constant(v) for v in row) for row in rows)
+        return self.retract_tuples(pred_key, wrapped)
+
+    # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter over all relations.
+
+        The sum of the relations' counters: bumped by every mutation
+        that changes a stored tuple set, whichever path performed it
+        (``Database`` methods or direct :class:`Relation` calls).
+        Relations are created but never removed, so the sum only grows;
+        no-op mutations (duplicate insert, absent retract) do not bump
+        it, which is exactly the invariant the answer memo in
+        :mod:`repro.session` relies on.
+        """
+        return sum(rel.version for rel in self._relations.values())
+
     def predicate_keys(self) -> Set[str]:
         return set(self._relations)
 

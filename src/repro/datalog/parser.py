@@ -239,7 +239,12 @@ class ParsedSource:
 
     __slots__ = ("program", "facts", "queries")
 
-    def __init__(self, program: Program, facts: Tuple[Literal, ...], queries: Tuple[Query, ...]):
+    def __init__(
+        self,
+        program: Program,
+        facts: Tuple[Literal, ...],
+        queries: Tuple[Query, ...],
+    ):
         self.program = program
         self.facts = facts
         self.queries = queries

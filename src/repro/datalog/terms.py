@@ -319,7 +319,11 @@ def _format_list(term: Struct) -> str:
     """Pretty-print a list cell, using ``[a, b | T]`` notation."""
     elements = []
     cursor: Term = term
-    while isinstance(cursor, Struct) and cursor.functor == LIST_FUNCTOR and len(cursor.args) == 2:
+    while (
+        isinstance(cursor, Struct)
+        and cursor.functor == LIST_FUNCTOR
+        and len(cursor.args) == 2
+    ):
         elements.append(str(cursor.args[0]))
         cursor = cursor.args[1]
     if cursor == EMPTY_LIST:
@@ -338,7 +342,11 @@ def make_list(items: Iterable[Term], tail: Term = EMPTY_LIST) -> Term:
 def is_list_term(term: Term) -> bool:
     """True when ``term`` is a proper (nil-terminated) ground-spine list."""
     cursor = term
-    while isinstance(cursor, Struct) and cursor.functor == LIST_FUNCTOR and len(cursor.args) == 2:
+    while (
+        isinstance(cursor, Struct)
+        and cursor.functor == LIST_FUNCTOR
+        and len(cursor.args) == 2
+    ):
         cursor = cursor.args[1]
     return cursor == EMPTY_LIST
 
@@ -347,7 +355,11 @@ def list_elements(term: Term) -> Tuple[Term, ...]:
     """Return the elements of a proper list term."""
     elements = []
     cursor = term
-    while isinstance(cursor, Struct) and cursor.functor == LIST_FUNCTOR and len(cursor.args) == 2:
+    while (
+        isinstance(cursor, Struct)
+        and cursor.functor == LIST_FUNCTOR
+        and len(cursor.args) == 2
+    ):
         elements.append(cursor.args[0])
         cursor = cursor.args[1]
     if cursor != EMPTY_LIST:

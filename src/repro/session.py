@@ -1,0 +1,753 @@
+"""A stateful session: versioned database, auto-dispatch, answer memo.
+
+The module-level functions (:func:`repro.answer_query` and friends) are
+one-shot: every call re-adorns, re-rewrites, and re-evaluates from
+scratch, and the caller has to know which methods tolerate negation.
+:class:`Session` is the surface shaped for repeated traffic:
+
+* it owns a :class:`~repro.datalog.database.Database` whose monotone
+  ``version`` counter is bumped by every mutation, and supports
+  incremental fact assertion *and retraction* between queries;
+* :meth:`Session.query` returns a :class:`QueryResult` (rows, the
+  method actually run, work counters, plan-cache and memo counters, an
+  ``explain()`` hook) and accepts ``method="auto"``: magic-family
+  rewriting through the shared plan cache for positive programs,
+  falling back to compiled stratified semi-naive when the adornment
+  machinery rejects the program, with QSQ selectable explicitly;
+* answers are memoized across evaluations, keyed by
+  ``(program, database version, query signature, options)``: a repeated
+  identical query on an unchanged database is a dictionary hit, and any
+  mutation drops the stale entries;
+* adorned and rewritten programs are cached per query signature, so a
+  re-query after a mutation pays evaluation but not rewriting, and the
+  compiled join/subquery plans come from the shared
+  :class:`~repro.datalog.planner.PlanCache`.
+
+Quickstart::
+
+    import repro
+
+    session = repro.Session('''
+        anc(X, Y) :- par(X, Y).
+        anc(X, Y) :- par(X, Z), anc(Z, Y).
+        par(john, mary). par(mary, sue).
+    ''')
+    result = session.query("anc(john, X)?")      # method="auto"
+    assert ("sue",) in result.values()
+    again = session.query("anc(john, X)?")       # memo hit: O(1)
+    assert again.from_memo
+
+    session.retract("par(mary, sue)")            # bumps the version,
+    third = session.query("anc(john, X)?")       # drops the memo
+    assert ("sue",) not in third.values()
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from .core.adornment import AdornedProgram, adorn_program
+from .core.pipeline import (
+    REWRITE_METHODS,
+    QueryAnswer,
+    bottom_up_answer,
+    rewrite,
+    unwrap_values,
+)
+from .core.provenance import RewrittenProgram
+from .core.sips import SipBuilder, build_full_sip
+from .datalog.ast import Literal, Program, Query
+from .datalog.database import Database, FactTuple
+from .datalog.derivation import DerivationNode
+from .datalog.engine import EvaluationStats, evaluate
+from .datalog.errors import (
+    AdornmentError,
+    ConnectivityError,
+    ReproError,
+    RewriteError,
+    SipValidationError,
+    UnsupportedProgramError,
+)
+from .datalog.parser import parse_literal, parse_program, parse_query
+from .datalog.planner import PlanCache, shared_plan_cache
+from .datalog.terms import Term
+from .datalog.topdown import QSQResult, qsq_evaluate
+
+__all__ = [
+    "Session",
+    "QueryResult",
+    "SESSION_METHODS",
+    "BASELINE_METHODS",
+]
+
+#: evaluation baselines answer_query/Session accept besides the rewrites
+BASELINE_METHODS = ("naive", "seminaive", "qsq")
+
+#: everything Session.query accepts for ``method``
+SESSION_METHODS = ("auto",) + REWRITE_METHODS + BASELINE_METHODS
+
+#: what ``method="auto"`` tries first on positive programs
+_AUTO_PRIMARY = "supplementary_magic"
+
+#: what it falls back to (stratified-capable compiled bottom-up)
+_AUTO_FALLBACK = "seminaive"
+
+#: errors that route auto-dispatch to the bottom-up fallback AND cache
+#: the decision: the adornment machinery declining the *program* (not
+#: evaluation failures -- those propagate, the fallback would hit them
+#: too).  RewriteError is handled separately: it can be option-level
+#: (e.g. ``semijoin=True`` with a magic method), so it falls back for
+#: the call at hand but never poisons the cached decision.
+_AUTO_PROGRAM_REJECTIONS = (
+    UnsupportedProgramError,
+    AdornmentError,
+    ConnectivityError,
+    SipValidationError,
+)
+
+
+@dataclass
+class QueryResult:
+    """One answered query, with provenance of *how* it was answered.
+
+    ``rows`` are bindings for the query's free variables (tuples of
+    ground :class:`~repro.datalog.terms.Term`); ``method`` is the
+    strategy actually executed (never ``"auto"``), ``requested_method``
+    what the caller asked for.  ``from_memo`` marks answers served from
+    the session's cross-evaluation memo; ``db_version`` is the database
+    version the answer is valid for.  ``memo_hits``/``memo_misses`` are
+    the session's cumulative counters at the time the result was
+    produced.  ``stats`` (and with it ``plan_cache_hits``/
+    ``plan_cache_misses``) describe the evaluation that *produced* the
+    rows: a memo hit carries the memoized cold run's counters, not
+    fresh work -- check ``from_memo`` to tell the two apart.  Memo hits
+    also drop the heavyweight evaluation artifacts
+    (``answer.evaluation``, the raw QSQ answer sets); only the cold
+    result exposes those, and memo-served ``rows`` are an immutable
+    frozenset snapshot (the memo never aliases a caller-mutable set).
+    """
+
+    rows: Set[FactTuple]
+    method: str
+    requested_method: str
+    query: Query
+    from_memo: bool = False
+    db_version: int = 0
+    elapsed: float = 0.0
+    stats: Optional[EvaluationStats] = None
+    answer: Optional[QueryAnswer] = None
+    memo_hits: int = 0
+    memo_misses: int = 0
+    _session: Optional["Session"] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def plan_cache_hits(self) -> int:
+        return self.stats.plan_cache_hits if self.stats is not None else 0
+
+    @property
+    def plan_cache_misses(self) -> int:
+        return self.stats.plan_cache_misses if self.stats is not None else 0
+
+    def values(self) -> Set[Tuple[object, ...]]:
+        """Rows with plain Python values in place of Constants."""
+        return unwrap_values(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __contains__(self, row) -> bool:
+        return tuple(row) in self.rows
+
+    def explain(self, limit: Optional[int] = None) -> List[DerivationNode]:
+        """Derivation trees for (up to ``limit`` of) the answers.
+
+        Re-evaluates the program bottom-up against the session's
+        *current* database (the memo stores answers, not proofs), so the
+        trees reflect the present facts; on a database mutated since
+        this result was produced the set of explained answers may
+        differ.  Each returned :class:`DerivationNode` renders with
+        ``.render()``.
+        """
+        if self._session is None:
+            raise ReproError(
+                "this QueryResult is detached from its Session; "
+                "explain() needs the session's program and database"
+            )
+        return self._session.explain(self.query, limit=limit)
+
+
+class Session:
+    """A stateful query session over one program and one database.
+
+    Construct from surface syntax (rules, facts, and optionally queries
+    in one string) or from a parsed :class:`Program` plus an optional
+    :class:`Database`::
+
+        session = Session(source)
+        session = Session(program=program, database=db)
+
+    Facts can be asserted and retracted between queries (:meth:`add`,
+    :meth:`add_values`, :meth:`add_many`, :meth:`retract`,
+    :meth:`retract_values`); every mutation bumps the database version
+    and drops the memoized answers.  ``session.query(...)`` accepts the
+    query as text or as a parsed :class:`Query`, and ``method`` as one
+    of :data:`SESSION_METHODS` (default ``"auto"``).
+    """
+
+    def __init__(
+        self,
+        source: Optional[str] = None,
+        *,
+        program: Optional[Program] = None,
+        database: Optional[Database] = None,
+        use_planner: bool = True,
+        sip_builder: SipBuilder = build_full_sip,
+        plan_cache: Optional[PlanCache] = None,
+        memo_size: int = 1024,
+    ):
+        if source is not None and program is not None:
+            raise ValueError("pass source or program, not both")
+        queries: Tuple[Query, ...] = ()
+        if source is not None:
+            parsed = parse_program(source)
+            program = parsed.program
+            queries = parsed.queries
+            if database is None:
+                database = Database()
+            database.add_facts(parsed.facts)
+        elif program is None:
+            raise ValueError("pass a source string or program=...")
+        if database is None:
+            database = Database()
+        self._program = program
+        self._database = database
+        self._use_planner = use_planner
+        self._sip_builder = sip_builder
+        self._plan_cache = (
+            plan_cache if plan_cache is not None else shared_plan_cache()
+        )
+        #: queries embedded in the source, in order; query() defaults to
+        #: the first one
+        self.queries = queries
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.memo_invalidations = 0
+        self._memo_size = memo_size
+        self._memo: "OrderedDict[tuple, QueryResult]" = OrderedDict()
+        self._memo_version = database.version
+        #: per-signature auto-dispatch decisions and per-query compiled
+        #: artifacts; all depend only on the (immutable) program and the
+        #: query, never on the facts, so mutations do not drop them
+        self._auto_choice: Dict[tuple, str] = {}
+        self._adorned: Dict[tuple, AdornedProgram] = {}
+        self._rewritten: Dict[tuple, RewrittenProgram] = {}
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def program(self) -> Program:
+        return self._program
+
+    @property
+    def database(self) -> Database:
+        return self._database
+
+    @property
+    def version(self) -> int:
+        """The owned database's monotone mutation counter."""
+        return self._database.version
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        return self._plan_cache
+
+    def counters(self) -> Dict[str, int]:
+        """Session-level cache counters, as one dict."""
+        return {
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "memo_invalidations": self.memo_invalidations,
+            "memo_entries": len(self._memo),
+            "plan_cache_hits": self._plan_cache.hits,
+            "plan_cache_misses": self._plan_cache.misses,
+            "db_version": self.version,
+        }
+
+    # ------------------------------------------------------------------
+    # mutation (assertion / retraction)
+    # ------------------------------------------------------------------
+    def add(self, fact: Union[str, Literal]) -> bool:
+        """Assert one ground fact (text like ``"par(a, b)"`` or a
+        Literal); returns True when it was new."""
+        added = self._database.add_fact(self._as_fact(fact))
+        self._note_mutation()
+        return added
+
+    def add_facts(self, facts: Iterable[Union[str, Literal]]) -> int:
+        count = self._database.add_facts(
+            self._as_fact(fact) for fact in facts
+        )
+        self._note_mutation()
+        return count
+
+    def add_values(
+        self, pred_key: str, rows: Iterable[Iterable[object]]
+    ) -> int:
+        """Assert rows of raw Python values under one predicate."""
+        count = self._database.add_values(pred_key, rows)
+        self._note_mutation()
+        return count
+
+    def add_many(
+        self, pred_key: str, rows: Iterable[Iterable[Term]]
+    ) -> int:
+        """Assert rows of ground Terms under one predicate."""
+        count = self._database.add_tuples(pred_key, rows)
+        self._note_mutation()
+        return count
+
+    def retract(self, fact: Union[str, Literal]) -> bool:
+        """Retract one ground fact; returns True when it was present."""
+        removed = self._database.retract_fact(self._as_fact(fact))
+        self._note_mutation()
+        return removed
+
+    def retract_facts(self, facts: Iterable[Union[str, Literal]]) -> int:
+        count = self._database.retract_facts(
+            self._as_fact(fact) for fact in facts
+        )
+        self._note_mutation()
+        return count
+
+    def retract_values(
+        self, pred_key: str, rows: Iterable[Iterable[object]]
+    ) -> int:
+        """Retract rows of raw Python values under one predicate."""
+        count = self._database.retract_values(pred_key, rows)
+        self._note_mutation()
+        return count
+
+    def retract_many(
+        self, pred_key: str, rows: Iterable[Iterable[Term]]
+    ) -> int:
+        """Retract rows of ground Terms under one predicate."""
+        count = self._database.retract_tuples(pred_key, rows)
+        self._note_mutation()
+        return count
+
+    @staticmethod
+    def _as_fact(fact: Union[str, Literal]) -> Literal:
+        if isinstance(fact, str):
+            fact = parse_literal(fact.rstrip().rstrip("."))
+        return fact
+
+    def _note_mutation(self) -> None:
+        """Drop memoized answers if the database version moved."""
+        version = self._database.version
+        if version != self._memo_version:
+            if self._memo:
+                self.memo_invalidations += len(self._memo)
+                self._memo.clear()
+            self._memo_version = version
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query: Union[str, Query, None] = None,
+        method: str = "auto",
+        *,
+        engine: str = "seminaive",
+        mode: str = "numeric",
+        optimize: bool = True,
+        semijoin: bool = False,
+        max_iterations: Optional[int] = None,
+        max_facts: Optional[int] = None,
+        use_planner: Optional[bool] = None,
+    ) -> QueryResult:
+        """Answer a query, consulting the cross-evaluation memo first.
+
+        ``query`` may be text (``"anc(john, X)?"``), a parsed
+        :class:`Query`, or None to use the first query embedded in the
+        session source.  ``method`` is ``"auto"`` (default), a rewrite
+        method, or a baseline; the remaining options mirror
+        :func:`repro.answer_query` and participate in the memo key.
+        """
+        query = self._as_query(query)
+        if method not in SESSION_METHODS:
+            raise ValueError(
+                f"unknown method {method!r}; expected one of "
+                f"{SESSION_METHODS}"
+            )
+        if use_planner is None:
+            use_planner = self._use_planner
+        started = time.perf_counter()
+        self._note_mutation()  # catch out-of-band database mutations
+        version = self._memo_version
+        key = (
+            query,
+            method,
+            engine,
+            mode,
+            optimize,
+            semijoin,
+            max_iterations,
+            max_facts,
+            use_planner,
+            version,
+        )
+        cached = self._memo.get(key)
+        if cached is not None:
+            self._memo.move_to_end(key)
+            self.memo_hits += 1
+            return replace(
+                cached,
+                from_memo=True,
+                elapsed=time.perf_counter() - started,
+                memo_hits=self.memo_hits,
+                memo_misses=self.memo_misses,
+            )
+        self.memo_misses += 1
+        executed = method
+        if method == "auto":
+            executed, answer = self._execute_auto(
+                query,
+                engine,
+                mode,
+                optimize,
+                semijoin,
+                max_iterations,
+                max_facts,
+                use_planner,
+            )
+        else:
+            answer = self._execute(
+                query,
+                method,
+                engine,
+                mode,
+                optimize,
+                semijoin,
+                max_iterations,
+                max_facts,
+                use_planner,
+            )
+        result = QueryResult(
+            rows=answer.answers,
+            method=answer.strategy,
+            requested_method=method,
+            query=query,
+            from_memo=False,
+            db_version=version,
+            elapsed=time.perf_counter() - started,
+            stats=answer.stats,
+            answer=answer,
+            memo_hits=self.memo_hits,
+            memo_misses=self.memo_misses,
+            _session=self,
+        )
+        assert executed != "auto"
+        self._memo[key] = self._slim_for_memo(result)
+        while len(self._memo) > self._memo_size:
+            self._memo.popitem(last=False)
+        return result
+
+    @staticmethod
+    def _slim_for_memo(result: QueryResult) -> QueryResult:
+        """A copy safe to retain: the memo stores answers and counters,
+        not evaluation artifacts.
+
+        The freshly returned (cold) result keeps its full
+        ``QueryAnswer`` -- including the evaluation's working database
+        and the raw QSQ Q/F sets -- but retaining those in up to
+        ``memo_size`` entries would pin a derived database copy per
+        entry.  Memo hits therefore expose ``rows``/``stats`` and the
+        summary counters only.  The rows are snapshotted into a
+        frozenset: the memo must not alias the mutable set handed to
+        the cold caller (mutating a returned result would otherwise
+        corrupt every later hit), and an immutable snapshot can be
+        served to all hits by reference.
+        """
+        rows = frozenset(result.rows)
+        answer = result.answer
+        if answer is not None:
+            qsq = answer.qsq
+            if qsq is not None:
+                qsq = QSQResult(
+                    iterations=qsq.iterations,
+                    subqueries_generated=qsq.subqueries_generated,
+                    plan_cache_hits=qsq.plan_cache_hits,
+                    plan_cache_misses=qsq.plan_cache_misses,
+                )
+            answer = replace(answer, answers=rows, evaluation=None, qsq=qsq)
+        return replace(result, rows=rows, answer=answer)
+
+    def _as_query(self, query: Union[str, Query, None]) -> Query:
+        if query is None:
+            if not self.queries:
+                raise ReproError(
+                    "no query: pass one to query() or embed one in the "
+                    "session source"
+                )
+            return self.queries[0]
+        if isinstance(query, str):
+            return parse_query(query)
+        return query
+
+    # ------------------------------------------------------------------
+    # dispatch + execution
+    # ------------------------------------------------------------------
+    def _signature(self, query: Query) -> tuple:
+        """What auto-dispatch and the program caches key on: the
+        predicate and the bound/free pattern (adornment), not the
+        constants."""
+        return (
+            query.literal.pred_key,
+            tuple(arg.is_ground() for arg in query.literal.args),
+        )
+
+    def _execute_auto(
+        self,
+        query,
+        engine,
+        mode,
+        optimize,
+        semijoin,
+        max_iterations,
+        max_facts,
+        use_planner,
+    ) -> Tuple[str, QueryAnswer]:
+        # the decision depends on the query signature AND the options
+        # that feed the rewrite, so one option set cannot poison the
+        # dispatch of another (notably plain default-option queries)
+        decision_key = (self._signature(query), mode, optimize, semijoin)
+        choice = self._auto_choice.get(decision_key)
+        if choice is None:
+            choice = (
+                _AUTO_FALLBACK
+                if self._program.has_negation()
+                else _AUTO_PRIMARY
+            )
+        if choice == _AUTO_PRIMARY:
+            try:
+                answer = self._execute(
+                    query,
+                    _AUTO_PRIMARY,
+                    engine,
+                    mode,
+                    optimize,
+                    semijoin,
+                    max_iterations,
+                    max_facts,
+                    use_planner,
+                )
+            except _AUTO_PROGRAM_REJECTIONS:
+                choice = _AUTO_FALLBACK
+                self._auto_choice[decision_key] = choice
+            except RewriteError:
+                # option-level incompatibility: answer via the fallback
+                # for this call, but re-attempt the rewrite next time
+                choice = _AUTO_FALLBACK
+            else:
+                self._auto_choice[decision_key] = _AUTO_PRIMARY
+                return _AUTO_PRIMARY, answer
+        else:
+            self._auto_choice[decision_key] = choice
+        answer = self._execute(
+            query,
+            choice,
+            engine,
+            mode,
+            optimize,
+            semijoin,
+            max_iterations,
+            max_facts,
+            use_planner,
+        )
+        return choice, answer
+
+    def _execute(
+        self,
+        query,
+        method,
+        engine,
+        mode,
+        optimize,
+        semijoin,
+        max_iterations,
+        max_facts,
+        use_planner,
+    ) -> QueryAnswer:
+        """One evaluation, no memo: the consolidated dispatch that used
+        to be duplicated across pipeline.answer_query, the CLI, and the
+        benchmark drivers."""
+        if method in ("naive", "seminaive"):
+            return bottom_up_answer(
+                self._program,
+                self._database,
+                query,
+                method,
+                max_iterations,
+                max_facts,
+                use_planner,
+                plan_cache=self._plan_cache,
+            )
+        if method == "qsq":
+            adorned = self._adorned_for(query)
+            qsq = qsq_evaluate(
+                adorned.program,
+                self._database,
+                adorned.query_literal,
+                max_iterations=max_iterations,
+                max_facts=max_facts,
+                use_planner=use_planner,
+                plan_cache=self._plan_cache,
+            )
+            stats = EvaluationStats(
+                iterations=qsq.iterations,
+                facts_derived=qsq.answer_count(),
+                plan_cache_hits=qsq.plan_cache_hits,
+                plan_cache_misses=qsq.plan_cache_misses,
+            )
+            return QueryAnswer(
+                answers=qsq.query_answers(adorned.query_literal),
+                strategy="qsq",
+                stats=stats,
+                qsq=qsq,
+            )
+        rewritten = self._rewritten_for(
+            query, method, mode, optimize, semijoin
+        )
+        seeded = rewritten.seeded_database(self._database)
+        result = evaluate(
+            rewritten.program,
+            seeded,
+            method=engine,
+            max_iterations=max_iterations,
+            max_facts=max_facts,
+            use_planner=use_planner,
+            plan_cache=self._plan_cache,
+        )
+        return QueryAnswer(
+            answers=rewritten.extract_answers(result),
+            strategy=method,
+            stats=result.stats,
+            rewritten=rewritten,
+            evaluation=result,
+        )
+
+    def _adorned_for(self, query: Query) -> AdornedProgram:
+        """The adorned program for a query, cached per full query.
+
+        Keyed by the query literal (not just the signature): the
+        adorned *rules* depend only on the bound/free pattern, but the
+        adorned query literal carries the constants.
+        """
+        key = (query.literal, self._sip_builder)
+        adorned = self._adorned.get(key)
+        if adorned is None:
+            adorned = adorn_program(
+                self._program, query, self._sip_builder
+            )
+            if len(self._adorned) >= 256:
+                self._adorned.pop(next(iter(self._adorned)))
+            self._adorned[key] = adorned
+        return adorned
+
+    def _rewritten_for(
+        self, query, method, mode, optimize, semijoin
+    ) -> RewrittenProgram:
+        """The rewritten program for a query, cached per full query
+        (the seed facts embed the query constants)."""
+        key = (
+            query.literal,
+            method,
+            self._sip_builder,
+            mode,
+            optimize,
+            semijoin,
+        )
+        rewritten = self._rewritten.get(key)
+        if rewritten is None:
+            rewritten = rewrite(
+                self._program,
+                query,
+                method=method,
+                sip_builder=self._sip_builder,
+                mode=mode,
+                optimize=optimize,
+                semijoin=semijoin,
+                adorned=self._adorned_for(query),
+            )
+            if len(self._rewritten) >= 256:
+                self._rewritten.pop(next(iter(self._rewritten)))
+            self._rewritten[key] = rewritten
+        return rewritten
+
+    # ------------------------------------------------------------------
+    # explanation
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        query: Union[str, Query, None] = None,
+        limit: Optional[int] = None,
+    ) -> List[DerivationNode]:
+        """Derivation trees for a query's answers on the current facts.
+
+        Runs a full bottom-up evaluation (stratified when the program
+        negates) and reconstructs one proof tree per answer, up to
+        ``limit``.  Answers are explained in sorted order so the output
+        is deterministic.
+        """
+        from .datalog.derivation import explain as explain_fact
+        from .datalog.derivation import fact_stages
+        from .datalog.engine import answer_tuples
+
+        query = self._as_query(query)
+        result = evaluate(
+            self._program, self._database, plan_cache=self._plan_cache
+        )
+        answers = answer_tuples(result, query.literal)
+        stages = fact_stages(self._program, self._database, result)
+        free_positions = [
+            i
+            for i, arg in enumerate(query.literal.args)
+            if not arg.is_ground()
+        ]
+        trees: List[DerivationNode] = []
+        for row in sorted(answers, key=str):
+            if limit is not None and len(trees) >= limit:
+                break
+            binding = dict(zip(free_positions, row))
+            fact_args = [
+                binding.get(i, arg)
+                for i, arg in enumerate(query.literal.args)
+            ]
+            fact = Literal(query.pred, tuple(fact_args))
+            trees.append(
+                explain_fact(
+                    self._program,
+                    self._database,
+                    result,
+                    fact,
+                    _stages=stages,
+                )
+            )
+        return trees
+
+    def __repr__(self):
+        return (
+            f"Session({len(self._program.rules)} rules, "
+            f"{self._database.total_facts()} facts, "
+            f"version={self.version}, memo={len(self._memo)})"
+        )

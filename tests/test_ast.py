@@ -93,7 +93,12 @@ class TestRule:
 
     def test_unit_rules_exempt_from_wf(self):
         # the paper's own append(V, [], [V]) unit rule
-        Rule(Literal("append", (X, Constant("[]"), Struct(".", (X, Constant("[]")))))).check_well_formed()
+        Rule(
+            Literal(
+                "append",
+                (X, Constant("[]"), Struct(".", (X, Constant("[]")))),
+            )
+        ).check_well_formed()
 
     def test_connected_ok(self):
         parse_rule("p(X, Y) :- q(X, Z), r(Z, Y).").check_connected()

@@ -169,3 +169,147 @@ class TestDatabase:
         merged = db1.merged_with(db2)
         assert merged.total_facts() == 2
         assert db1.total_facts() == 1
+
+
+class TestRetraction:
+    def test_discard_present_tuple(self):
+        rel = Relation("par")
+        rel.add((c("a"), c("b")))
+        assert rel.discard((c("a"), c("b")))
+        assert (c("a"), c("b")) not in rel
+        assert len(rel) == 0
+
+    def test_discard_absent_tuple(self):
+        rel = Relation("par")
+        rel.add((c("a"), c("b")))
+        assert not rel.discard((c("x"), c("y")))
+        assert len(rel) == 1
+
+    def test_discard_maintains_registered_indexes(self):
+        rel = Relation("par")
+        rel.register_index((0,))
+        rel.add_many([(c("a"), c("b")), (c("a"), c("x")), (c("b"), c("y"))])
+        assert rel.discard((c("a"), c("b")))
+        rows = rel.lookup((0,), (c("a"),))
+        assert [str(r[1]) for r in rows] == ["x"]
+        # the emptied bucket is dropped, not left as a stale empty list
+        assert rel.discard((c("b"), c("y")))
+        assert rel.lookup((0,), (c("b"),)) == []
+
+    def test_discard_maintains_lazily_built_indexes(self):
+        rel = Relation("par")
+        rel.add_many([(c("a"), c("b")), (c("b"), c("c"))])
+        assert len(rel.lookup((1,), (c("b"),))) == 1  # builds the index
+        rel.discard((c("a"), c("b")))
+        assert rel.lookup((1,), (c("b"),)) == []
+
+    def test_discard_many(self):
+        rel = Relation("par")
+        rel.add_many([(c("a"), c("b")), (c("b"), c("c")), (c("c"), c("d"))])
+        removed = rel.discard_many(
+            [(c("a"), c("b")), (c("x"), c("y")), (c("c"), c("d"))]
+        )
+        assert removed == 2
+        assert len(rel) == 1
+
+    def test_database_retract_fact(self):
+        db = Database()
+        db.add_fact(Literal("par", (c("a"), c("b"))))
+        assert db.retract_fact(Literal("par", (c("a"), c("b"))))
+        assert not db.has_fact(Literal("par", (c("a"), c("b"))))
+        assert not db.retract_fact(Literal("par", (c("a"), c("b"))))
+
+    def test_database_retract_fact_rejects_non_ground(self):
+        db = Database()
+        with pytest.raises(ValueError):
+            db.retract_fact(Literal("par", (Variable("X"), c("b"))))
+
+    def test_database_retract_unknown_predicate(self):
+        db = Database()
+        assert not db.retract_fact(Literal("par", (c("a"), c("b"))))
+        assert db.retract_values("par", [("a", "b")]) == 0
+
+    def test_database_retract_values(self):
+        db = Database()
+        db.add_values("par", [("a", "b"), ("b", "c")])
+        assert db.retract_values("par", [("a", "b"), ("x", "y")]) == 1
+        assert db.tuples("par") == {(c("b"), c("c"))}
+
+
+class TestVersionCounter:
+    """Every mutation path that changes facts bumps the monotone version."""
+
+    def test_new_database_is_version_zero(self):
+        assert Database().version == 0
+
+    def test_add_fact_bumps(self):
+        db = Database()
+        db.add_fact(Literal("par", (c("a"), c("b"))))
+        assert db.version == 1
+
+    def test_duplicate_add_does_not_bump(self):
+        db = Database()
+        db.add_fact(Literal("par", (c("a"), c("b"))))
+        db.add_fact(Literal("par", (c("a"), c("b"))))
+        assert db.version == 1
+
+    def test_add_values_bumps_per_new_row(self):
+        db = Database()
+        db.add_values("par", [("a", "b"), ("b", "c"), ("a", "b")])
+        assert db.version == 2
+
+    def test_add_facts_bumps(self):
+        db = Database()
+        db.add_facts(
+            [
+                Literal("par", (c("a"), c("b"))),
+                Literal("par", (c("b"), c("c"))),
+            ]
+        )
+        assert db.version == 2
+
+    def test_add_tuples_bumps(self):
+        db = Database()
+        db.add_tuples("par", [(c("a"), c("b"))])
+        assert db.version == 1
+
+    def test_direct_relation_add_bumps(self):
+        # mutations that bypass the Database convenience methods are
+        # still visible: the version sums the relations' counters
+        db = Database()
+        db.relation("par").add((c("a"), c("b")))
+        assert db.version == 1
+        db.relation("par").add_many([(c("b"), c("c")), (c("c"), c("d"))])
+        assert db.version == 3
+
+    def test_retract_bumps(self):
+        db = Database()
+        db.add_values("par", [("a", "b")])
+        db.retract_values("par", [("a", "b")])
+        assert db.version == 2
+
+    def test_noop_retract_does_not_bump(self):
+        db = Database()
+        db.add_values("par", [("a", "b")])
+        db.retract_values("par", [("x", "y")])
+        assert db.version == 1
+
+    def test_version_is_monotone_across_mixed_mutations(self):
+        db = Database()
+        seen = [db.version]
+        db.add_values("par", [("a", "b"), ("b", "c")])
+        seen.append(db.version)
+        db.retract_values("par", [("a", "b")])
+        seen.append(db.version)
+        db.add_values("par", [("a", "b")])
+        seen.append(db.version)
+        assert seen == sorted(seen) and len(set(seen)) == len(seen)
+
+    def test_copy_preserves_version_then_diverges(self):
+        db = Database()
+        db.add_values("par", [("a", "b")])
+        dup = db.copy()
+        assert dup.version == db.version
+        dup.add_values("par", [("x", "y")])
+        assert dup.version == db.version + 1
+        assert db.version == 1

@@ -1,0 +1,462 @@
+"""Tests for the stateful Session API (repro.session).
+
+Covers the tentpole guarantees: auto-dispatch choosing the same answers
+as every explicit method, the cross-evaluation answer memo (hits,
+invalidation on every mutation path, eviction), incremental assertion
+and retraction with correct re-query answers across all four bottom-up
+engine configurations, and the legacy one-shot shims staying
+answer-identical.
+"""
+
+import pytest
+
+from repro import (
+    Database,
+    PlanCache,
+    QueryAnswer,
+    QueryResult,
+    ReproError,
+    Session,
+    UnsupportedProgramError,
+    answer_query,
+    parse_program,
+    parse_query,
+)
+from repro.workloads import bom_source
+
+ANCESTOR = """
+    anc(X, Y) :- par(X, Y).
+    anc(X, Y) :- par(X, Z), anc(Z, Y).
+    par(john, mary). par(mary, sue). par(sue, ann).
+    anc(john, X)?
+"""
+
+STRATIFIED = """
+    comp(P, Q) :- sub(P, Q).
+    comp(P, Q) :- sub(P, R), comp(R, Q).
+    tainted(P) :- comp(P, Q), recalled(Q).
+    ok(P) :- part(P), not tainted(P).
+    part(a). part(b). part(c).
+    sub(a, b). sub(b, c).
+    recalled(c).
+    ok(P)?
+"""
+
+#: the four bottom-up engine configurations (method x execution path)
+ENGINE_CONFIGS = [
+    ("naive", True),
+    ("naive", False),
+    ("seminaive", True),
+    ("seminaive", False),
+]
+
+#: every way to answer a positive query
+POSITIVE_METHODS = (
+    "auto",
+    "magic",
+    "supplementary_magic",
+    "counting",
+    "supplementary_counting",
+    "qsq",
+    "naive",
+    "seminaive",
+)
+
+
+def ancestor_session(**kwargs):
+    return Session(ANCESTOR, **kwargs)
+
+
+class TestConstruction:
+    def test_from_source_loads_facts_and_queries(self):
+        session = ancestor_session()
+        assert session.database.total_facts() == 3
+        assert len(session.queries) == 1
+        assert session.version == 3  # fact loading is a mutation
+
+    def test_from_program_and_database(self):
+        parsed = parse_program("anc(X, Y) :- par(X, Y).")
+        db = Database()
+        db.add_values("par", [("a", "b")])
+        session = Session(program=parsed.program, database=db)
+        assert session.query("anc(a, Y)?").values() == {("b",)}
+
+    def test_source_and_program_conflict(self):
+        parsed = parse_program("anc(X, Y) :- par(X, Y).")
+        with pytest.raises(ValueError):
+            Session("anc(X, Y) :- par(X, Y).", program=parsed.program)
+
+    def test_neither_source_nor_program(self):
+        with pytest.raises(ValueError):
+            Session()
+
+    def test_default_query_from_source(self):
+        session = ancestor_session()
+        assert session.query().values() == {("mary",), ("sue",), ("ann",)}
+
+    def test_no_default_query(self):
+        session = Session("anc(X, Y) :- par(X, Y).")
+        with pytest.raises(ReproError):
+            session.query()
+
+    def test_unknown_method_rejected(self):
+        session = ancestor_session()
+        with pytest.raises(ValueError):
+            session.query("anc(john, X)?", method="sideways")
+
+
+class TestAutoDispatch:
+    def test_positive_program_uses_magic_family(self):
+        session = ancestor_session()
+        result = session.query("anc(john, X)?")
+        assert result.requested_method == "auto"
+        assert result.method == "supplementary_magic"
+
+    def test_negated_program_falls_back_to_seminaive(self):
+        session = Session(STRATIFIED)
+        result = session.query()
+        assert result.method == "seminaive"
+        assert result.values() == {("c",)}
+
+    def test_explicit_rewrite_on_negated_program_still_raises(self):
+        session = Session(STRATIFIED)
+        with pytest.raises(UnsupportedProgramError):
+            session.query(method="supplementary_magic")
+        with pytest.raises(UnsupportedProgramError):
+            session.query(method="qsq")
+
+    @pytest.mark.parametrize("method", POSITIVE_METHODS)
+    def test_auto_identical_to_every_method_positive(self, method):
+        session = ancestor_session()
+        auto = session.query("anc(john, X)?", method="auto")
+        explicit = session.query("anc(john, X)?", method=method)
+        assert explicit.rows == auto.rows
+
+    @pytest.mark.parametrize("engine,use_planner", ENGINE_CONFIGS)
+    def test_auto_identical_to_bottom_up_stratified(
+        self, engine, use_planner
+    ):
+        source = bom_source(depth=4, fanout=2, exception_rate=0.25, seed=3)
+        session = Session(source, use_planner=use_planner)
+        auto = session.query()
+        explicit = session.query(method=engine, use_planner=use_planner)
+        assert auto.rows == explicit.rows
+
+    def test_auto_decision_is_cached_per_signature(self):
+        session = ancestor_session()
+        session.query("anc(john, X)?")
+        default_opts = ("numeric", True, False)  # mode, optimize, semijoin
+        assert session._auto_choice == {
+            (("anc", (True, False)),) + default_opts: "supplementary_magic"
+        }
+        # a different binding pattern is a fresh decision
+        session.query("anc(X, ann)?")
+        key = (("anc", (False, True)),) + default_opts
+        assert session._auto_choice[key] == "supplementary_magic"
+
+    def test_option_level_rewrite_error_does_not_poison_dispatch(self):
+        # semijoin=True is incompatible with the magic family, so auto
+        # answers that call via the bottom-up fallback -- but a later
+        # default-option query must still get the rewrite
+        session = ancestor_session()
+        with_semijoin = session.query("anc(john, X)?", semijoin=True)
+        assert with_semijoin.method == "seminaive"
+        plain = session.query("anc(john, X)?")
+        assert plain.method == "supplementary_magic"
+        assert plain.rows == with_semijoin.rows
+
+
+class TestMemo:
+    def test_repeat_query_is_memo_hit(self):
+        session = ancestor_session()
+        first = session.query("anc(john, X)?")
+        second = session.query("anc(john, X)?")
+        assert not first.from_memo
+        assert second.from_memo
+        assert second.rows == first.rows
+        assert session.memo_hits == 1
+        assert session.memo_misses == 1
+
+    def test_memo_hit_preserves_method_and_stats(self):
+        session = ancestor_session()
+        first = session.query("anc(john, X)?")
+        second = session.query("anc(john, X)?")
+        assert second.method == first.method
+        assert second.stats is first.stats
+
+    def test_different_method_is_a_fresh_entry(self):
+        session = ancestor_session()
+        session.query("anc(john, X)?", method="magic")
+        result = session.query("anc(john, X)?", method="qsq")
+        assert not result.from_memo
+        assert session.memo_misses == 2
+
+    def test_different_options_are_fresh_entries(self):
+        session = ancestor_session()
+        session.query("anc(john, X)?", method="seminaive")
+        miss = session.query(
+            "anc(john, X)?", method="seminaive", use_planner=False
+        )
+        assert not miss.from_memo
+
+    def test_equal_query_text_hits(self):
+        # memoization keys on the parsed Query (structural equality),
+        # not on object identity or source text
+        session = ancestor_session()
+        session.query(parse_query("anc(john, X)?"))
+        again = session.query("anc( john , X )?")
+        assert again.from_memo
+
+    def test_eviction_keeps_memo_bounded(self):
+        session = ancestor_session(memo_size=2)
+        session.query("anc(john, X)?")
+        session.query("anc(mary, X)?")
+        session.query("anc(sue, X)?")  # evicts the oldest entry
+        assert len(session._memo) == 2
+        assert not session.query("anc(john, X)?").from_memo
+        assert session.query("anc(sue, X)?").from_memo
+
+    def test_memo_hit_counters_on_result(self):
+        session = ancestor_session()
+        session.query("anc(john, X)?")
+        hit = session.query("anc(john, X)?")
+        assert hit.memo_hits == 1 and hit.memo_misses == 1
+
+    def test_caller_mutating_rows_cannot_corrupt_the_memo(self):
+        session = ancestor_session()
+        cold = session.query("anc(john, X)?")
+        cold.rows.clear()  # hostile caller mutation of the returned set
+        hit = session.query("anc(john, X)?")
+        assert hit.from_memo
+        assert hit.values() == {("mary",), ("sue",), ("ann",)}
+        assert isinstance(hit.rows, frozenset)
+
+    @pytest.mark.parametrize("method", ("supplementary_magic", "qsq"))
+    def test_memo_entries_do_not_retain_evaluation_artifacts(self, method):
+        # the memo stores answers and counters; pinning a full derived
+        # database (or the raw QSQ answer sets) per entry would grow
+        # memory by one database copy per memoized query
+        session = ancestor_session()
+        cold = session.query("anc(john, X)?", method=method)
+        hit = session.query("anc(john, X)?", method=method)
+        assert hit.from_memo
+        assert hit.answer.evaluation is None
+        if method == "qsq":
+            assert cold.answer.qsq.answers  # cold result keeps Q/F
+            assert not hit.answer.qsq.answers
+            assert (
+                hit.answer.qsq.subqueries_generated
+                == cold.answer.qsq.subqueries_generated
+            )
+        else:
+            assert cold.answer.evaluation is not None
+        assert hit.rows == cold.rows and hit.stats is cold.stats
+
+
+class TestInvalidation:
+    MUTATIONS = {
+        "add": lambda s: s.add("par(ann, zoe)"),
+        "add_facts": lambda s: s.add_facts(["par(ann, zoe)"]),
+        "add_values": lambda s: s.add_values("par", [("ann", "zoe")]),
+        "add_many": lambda s: s.add_many(
+            "par", [parse_query("par(ann, zoe)?").literal.args]
+        ),
+        "retract": lambda s: s.retract("par(sue, ann)"),
+        "retract_facts": lambda s: s.retract_facts(["par(sue, ann)"]),
+        "retract_values": lambda s: s.retract_values(
+            "par", [("sue", "ann")]
+        ),
+        "retract_many": lambda s: s.retract_many(
+            "par", [parse_query("par(sue, ann)?").literal.args]
+        ),
+    }
+
+    @pytest.mark.parametrize("mutation", sorted(MUTATIONS))
+    def test_every_mutation_path_bumps_and_drops_memo(self, mutation):
+        session = ancestor_session()
+        session.query("anc(john, X)?")
+        assert len(session._memo) == 1
+        before = session.version
+        changed = self.MUTATIONS[mutation](session)
+        assert changed in (True, 1)
+        assert session.version > before
+        assert len(session._memo) == 0
+        assert session.memo_invalidations == 1
+        result = session.query("anc(john, X)?")
+        assert not result.from_memo
+
+    def test_noop_mutation_keeps_memo(self):
+        session = ancestor_session()
+        first = session.query("anc(john, X)?")
+        assert not session.add("par(john, mary)")  # already present
+        assert not session.retract("par(zeus, ares)")  # never present
+        again = session.query("anc(john, X)?")
+        assert again.from_memo and again.rows == first.rows
+
+    def test_out_of_band_database_mutation_is_detected(self):
+        # mutations that bypass the Session entirely (direct Relation
+        # access) are caught by the version check on the next query
+        session = ancestor_session()
+        session.query("anc(john, X)?")
+        session.database.add_values("par", [("ann", "zoe")])
+        result = session.query("anc(john, X)?")
+        assert not result.from_memo
+        assert ("zoe",) in result.values()
+
+    @pytest.mark.parametrize("engine,use_planner", ENGINE_CONFIGS)
+    def test_retract_then_requery_bottom_up(self, engine, use_planner):
+        session = ancestor_session()
+        full = session.query(
+            "anc(john, X)?", method=engine, use_planner=use_planner
+        )
+        assert full.values() == {("mary",), ("sue",), ("ann",)}
+        assert session.retract("par(sue, ann)")
+        trimmed = session.query(
+            "anc(john, X)?", method=engine, use_planner=use_planner
+        )
+        assert trimmed.values() == {("mary",), ("sue",)}
+        assert session.add("par(sue, ann)")
+        restored = session.query(
+            "anc(john, X)?", method=engine, use_planner=use_planner
+        )
+        assert restored.values() == full.values()
+
+    @pytest.mark.parametrize(
+        "method", ("auto", "supplementary_magic", "qsq")
+    )
+    def test_retract_then_requery_query_directed(self, method):
+        session = ancestor_session()
+        full = session.query("anc(john, X)?", method=method)
+        session.retract("par(sue, ann)")
+        trimmed = session.query("anc(john, X)?", method=method)
+        assert trimmed.values() == {("mary",), ("sue",)}
+        assert not trimmed.from_memo
+        assert full.values() - trimmed.values() == {("ann",)}
+
+    @pytest.mark.parametrize("engine,use_planner", ENGINE_CONFIGS)
+    def test_retract_then_requery_stratified(self, engine, use_planner):
+        session = Session(STRATIFIED, use_planner=use_planner)
+        before = session.query(method=engine, use_planner=use_planner)
+        assert before.values() == {("c",)}
+        # lift the recall: everything is ok again
+        session.retract("recalled(c)")
+        after = session.query(method=engine, use_planner=use_planner)
+        assert after.values() == {("a",), ("b",), ("c",)}
+
+
+class TestQueryResult:
+    def test_container_protocol(self):
+        session = ancestor_session()
+        result = session.query("anc(john, X)?")
+        assert len(result) == 3
+        assert set(result) == result.rows
+        for row in result.rows:
+            assert row in result
+
+    def test_plan_cache_counters_surface(self):
+        session = ancestor_session(plan_cache=PlanCache())
+        result = session.query("anc(john, X)?", method="seminaive")
+        assert result.plan_cache_misses == 1
+        again = Session(
+            program=session.program,
+            database=session.database,
+            plan_cache=session.plan_cache,
+        ).query("anc(john, X)?", method="seminaive")
+        assert again.plan_cache_hits == 1
+
+    def test_counters_dict(self):
+        session = ancestor_session(plan_cache=PlanCache())
+        session.query("anc(john, X)?")
+        session.query("anc(john, X)?")
+        counters = session.counters()
+        assert counters["memo_hits"] == 1
+        assert counters["memo_misses"] == 1
+        assert counters["memo_entries"] == 1
+        assert counters["db_version"] == session.version
+
+    def test_underlying_answer_is_exposed(self):
+        session = ancestor_session()
+        result = session.query("anc(john, X)?")
+        assert isinstance(result.answer, QueryAnswer)
+        assert result.answer.answers == result.rows
+
+    def test_explain_returns_derivation_trees(self):
+        session = ancestor_session()
+        result = session.query("anc(john, X)?")
+        trees = result.explain(limit=2)
+        assert len(trees) == 2
+        rendered = trees[0].render()
+        assert "anc(john" in rendered
+
+    def test_explain_on_memo_hit(self):
+        session = ancestor_session()
+        session.query("anc(john, X)?")
+        hit = session.query("anc(john, X)?")
+        assert hit.from_memo
+        assert len(hit.explain()) == 3
+
+    def test_explain_stratified(self):
+        session = Session(STRATIFIED)
+        result = session.query()
+        trees = result.explain()
+        assert len(trees) == 1
+        assert "ok(c)" in trees[0].render()
+
+    def test_detached_result_explain_raises(self):
+        result = QueryResult(
+            rows=set(), method="seminaive", requested_method="auto",
+            query=parse_query("anc(john, X)?"),
+        )
+        with pytest.raises(ReproError):
+            result.explain()
+
+
+class TestLegacyShims:
+    def test_answer_query_matches_session(self):
+        parsed = parse_program(ANCESTOR)
+        db = Database()
+        db.add_facts(parsed.facts)
+        query = parsed.queries[0]
+        legacy = answer_query(parsed.program, db, query)
+        session = Session(program=parsed.program, database=db)
+        assert legacy.answers == session.query(query).rows
+
+    def test_answer_query_accepts_auto(self):
+        parsed = parse_program(ANCESTOR)
+        db = Database()
+        db.add_facts(parsed.facts)
+        answer = answer_query(
+            parsed.program, db, parsed.queries[0], method="auto"
+        )
+        assert answer.strategy == "supplementary_magic"
+        assert answer.values() == {("mary",), ("sue",), ("ann",)}
+
+    def test_answer_query_auto_stratified(self):
+        parsed = parse_program(STRATIFIED)
+        db = Database()
+        db.add_facts(parsed.facts)
+        answer = answer_query(
+            parsed.program, db, parsed.queries[0], method="auto"
+        )
+        assert answer.strategy == "seminaive"
+        assert answer.values() == {("c",)}
+
+
+class TestRewriteCaches:
+    def test_rewritten_program_is_cached_across_mutations(self):
+        session = ancestor_session()
+        session.query("anc(john, X)?", method="supplementary_magic")
+        assert len(session._rewritten) == 1
+        cached = next(iter(session._rewritten.values()))
+        session.add("par(ann, zoe)")  # drops the memo, not the rewrite
+        session.query("anc(john, X)?", method="supplementary_magic")
+        assert next(iter(session._rewritten.values())) is cached
+
+    def test_adorned_program_cached_for_qsq(self):
+        session = ancestor_session()
+        session.query("anc(john, X)?", method="qsq")
+        assert len(session._adorned) == 1
+        session.add("par(ann, zoe)")
+        result = session.query("anc(john, X)?", method="qsq")
+        assert len(session._adorned) == 1
+        assert ("zoe",) in result.values()
