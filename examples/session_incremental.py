@@ -3,9 +3,9 @@
 Scenario: a parts desk answers "is this product still buildable?"
 queries all day while the bill of materials changes underneath it --
 parts get recalled (retracted), replacements arrive (asserted).  The
-program uses stratified negation (exception lists), so ``auto``
-dispatch picks compiled stratified semi-naive; the positive closure
-queries go through the magic family.
+program uses stratified negation (exception lists); ``auto`` dispatch
+runs the conservative supplementary-magic rewrite for it, same as for
+the positive closure queries.
 
 What this shows:
 
@@ -43,6 +43,9 @@ def main() -> None:
 
     query = "buildable(P)?"
     first = session.query(query)
+    # stratified negation no longer forces the bottom-up fallback: the
+    # conservative magic extension carries the anti-joins along
+    assert first.method == "supplementary_magic"
     print("auto-dispatched method :", first.method, "(program negates)")
     print("buildable              :", sorted(v[0] for v in first.values()))
 
@@ -68,9 +71,8 @@ def main() -> None:
     print("buildable              :", sorted(v[0] for v in lifted.values()))
     assert lifted.rows == first.rows
 
-    # closure queries on the same session: auto stays on the stratified
-    # bottom-up path, because the adornment gate is program-wide (magic
-    # under stratified negation is an open ROADMAP item)
+    # a selective closure query on the same session: the rewrite only
+    # explodes the queried part's subtree
     closure = session.query("comp(drone, Q)?")
     print()
     print("comp(drone, Q) via     :", closure.method)

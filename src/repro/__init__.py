@@ -118,6 +118,7 @@ from .core import (
     rewrite,
     semijoin_optimize,
     stratify,
+    stratify_or_raise,
     supplementary_counting_rewrite,
     supplementary_magic_rewrite,
     unwrap_values,
@@ -160,7 +161,8 @@ __all__ = [
     "semijoin_optimize", "lemma_8_1_prune", "lemma_8_2_anonymize",
     "magic_safety", "counting_safety",
     "negation_safety", "check_safe_negation",
-    "Stratification", "stratify", "is_stratified", "check_stratified",
+    "Stratification", "stratify", "stratify_or_raise", "is_stratified",
+    "check_stratified",
     "check_optimality", "compare_sips",
     "rewrite", "answer_query", "bottom_up_answer", "unwrap_values",
     "RewrittenProgram", "QueryAnswer", "REWRITE_METHODS",

@@ -26,9 +26,11 @@ The program file uses the surface syntax of ``repro.datalog.parser``:
 rules, ground facts, ``%`` comments, and optionally queries (a query
 given with --query overrides queries in the file).  Body literals may be
 negated (``not p(X)`` or ``\\+ p(X)``); such programs evaluate under the
-stratified semantics with ``--method naive`` or ``--method seminaive``,
-while the rewrite methods and ``qsq`` are positive-only and report an
-error.
+stratified semantics with the bottom-up baselines (``--method naive`` /
+``seminaive``) and with the magic rewrites (``--method magic`` /
+``supplementary_magic``, or ``auto``), which handle negation
+conservatively; the counting rewrites and ``qsq`` are positive-only and
+report an error.
 """
 
 from __future__ import annotations
@@ -68,12 +70,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(Beeri & Ramakrishnan, 'On the Power of Magic').",
         epilog="Programs may negate body literals -- 'not p(X)' or "
         "'\\+ p(X)' -- under the stratified semantics: the bottom-up "
-        "baselines (query --method naive/seminaive) evaluate stratum by "
-        "stratum with anti-joins, while the rewrite methods and qsq are "
-        "positive-only and report an error for such programs.  Negation "
-        "must be safe: every negated variable needs a positive binder in "
+        "engines evaluate stratum by stratum with anti-joins, and the "
+        "magic rewrites (--method magic/supplementary_magic, what "
+        "--method auto picks) handle negation conservatively, so "
+        "selective queries stay query-directed; the counting rewrites "
+        "and qsq are positive-only and report an error.  Negation must "
+        "be safe: every negated variable needs a positive binder in "
         "the same rule.  Try: repro workload bom | repro query "
-        "/dev/stdin --method seminaive",
+        "/dev/stdin --method auto --stats",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -98,9 +102,10 @@ def build_parser() -> argparse.ArgumentParser:
                 default="supplementary_magic",
                 help="rewrite method, a baseline (plain bottom-up "
                 "naive/seminaive or top-down qsq), or auto: magic-"
-                "family rewriting for positive programs, stratified "
-                "semi-naive when the program negates; the explicit "
-                "rewrite methods and qsq reject negation",
+                "family rewriting for positive and stratified "
+                "programs alike, compiled stratified semi-naive only "
+                "when adornment rejects the program; the counting "
+                "rewrites and qsq reject negation",
             )
             p.add_argument(
                 "--mode",
@@ -346,22 +351,27 @@ def _cmd_safety(args) -> int:
         except StratificationError as exc:
             print(f"{'stratification':<18} {'REJECTED':<9}")
             print(f"                   {exc}")
-        else:
             print(
-                f"{'stratification':<18} {'OK':<9} "
-                f"({len(strat)} strata)"
+                "% magic/counting verdicts skipped: no stratified "
+                "model, so no rewrite applies"
             )
-            for line in str(strat).splitlines():
-                print(f"                   {line}")
+            return 0
         print(
-            "% magic/counting verdicts skipped: the rewrites are "
-            "positive-only (evaluate with --method naive/seminaive)"
+            f"{'stratification':<18} {'OK':<9} "
+            f"({len(strat)} strata)"
         )
-        return 0
+        for line in str(strat).splitlines():
+            print(f"                   {line}")
     adorned = adorn_program(
         program, query, sip_builder=_SIP_BUILDERS[args.sip]
     )
     show("magic methods", magic_safety(adorned))
+    if program.has_negation():
+        print(
+            "% counting verdicts skipped: the counting rewrites are "
+            "positive-only (use the magic family or --method auto)"
+        )
+        return 0
     show("counting methods", counting_safety(adorned))
     return 0
 

@@ -51,6 +51,7 @@ from .stratify import (
     check_stratified,
     is_stratified,
     stratify,
+    stratify_or_raise,
 )
 from .semijoin import lemma_8_1_prune, lemma_8_2_anonymize, semijoin_optimize
 from .sips import (
@@ -103,6 +104,7 @@ __all__ = [
     "check_stratified",
     "is_stratified",
     "stratify",
+    "stratify_or_raise",
     "lemma_8_1_prune",
     "lemma_8_2_anonymize",
     "semijoin_optimize",

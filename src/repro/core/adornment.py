@@ -19,6 +19,24 @@ The body of each adorned rule is reordered by the sip's total order
 (condition 3'), which is the "canonical" form the appendix uses, and the
 sip is remapped onto the reordered body so downstream transforms can
 assume arcs only point right.
+
+Stratified negation (conservative extension, Balbin et al. / Kemp
+style): the paper's construction is defined for positive programs, but
+safe stratified programs are accepted here with the standard
+conservative treatment.  A negated body literal is a pure *consumer*:
+at evaluation time every one of its variables is bound by the positive
+part of the rule (the safe-negation rule guarantees a binder exists,
+and the adorned body places negated literals after all positive ones),
+so the anti-join always runs fully bound.  For *specialization*,
+however, bindings are never pushed through negation: a negated derived
+occurrence is adorned all-free, so its definition is reached at the
+all-free adornment and computed **completely** -- an anti-join that
+probed a magic-restricted (hence possibly incomplete) relation would
+treat "not derived yet" as "false" and be unsound.  The rewrites then
+carry negated literals unchanged and never emit magic rules for them.
+Programs whose dependency graph cycles through negation are rejected
+up front (:class:`~repro.datalog.errors.StratificationError`), as are
+unsafe rules (:class:`~repro.datalog.errors.UnsafeNegationError`).
 """
 
 from __future__ import annotations
@@ -26,8 +44,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Set, Tuple
 
-from ..datalog.ast import Literal, Program, Query, Rule
-from ..datalog.errors import AdornmentError, UnsupportedProgramError
+from ..datalog.analysis import stratify_or_raise
+from ..datalog.ast import ALL_FREE, Literal, Program, Query, Rule
+from ..datalog.errors import AdornmentError
 from .sips import Sip, SipBuilder, build_full_sip
 
 __all__ = ["AdornedRule", "AdornedProgram", "adorn_program"]
@@ -106,27 +125,14 @@ def adorn_program(
 
     Theorem 3.1 / Corollary 3.2 guarantee ``(P, q)`` and
     ``(P^ad, q^a)`` are equivalent; the integration tests check this on
-    random databases.
+    random databases.  Stratified programs are adorned conservatively
+    (see the module docstring): unsafe or unstratifiable negation is
+    rejected here, before any rewrite work happens.
     """
     if program.has_negation():
-        # The sip/adornment machinery -- and with it all four rewrites of
-        # Sections 4-7 -- is defined for positive programs; adorning
-        # ``not p`` as if it were ``p`` would push bindings through a
-        # complement and produce an unsound rewrite.  Magic sets for
-        # stratified programs need conservative extensions that are out
-        # of scope here (ROADMAP follow-on); reject loudly instead.
-        offender = next(
-            lit
-            for rule in program.rules
-            for lit in rule.body
-            if lit.negated
-        )
-        raise UnsupportedProgramError(
-            f"program contains the negated literal {offender}: the "
-            "adornment construction and the magic/counting rewrites are "
-            "defined for positive programs only; evaluate stratified "
-            "programs with --method naive or --method seminaive"
-        )
+        for rule in program.rules:
+            rule.check_safe_negation()
+        stratify_or_raise(program)
     program.validate(
         require_connected=require_connected, require_well_formed=False
     )
@@ -177,11 +183,31 @@ def _adorn_rule(
     """Produce the adorned version of one rule for one head adornment."""
     sip = sip_builder(rule, adornment, is_derived)
     order = sip.total_order()
+    if rule.has_negation():
+        # negated literals go last (after every positive literal, in
+        # their sip order among themselves): they are consumers whose
+        # anti-join needs the positive prefix to have bound all their
+        # variables, and the rewrites read the adorned body as
+        # "positive prefix, then carried-along negated literals"
+        order = tuple(
+            p for p in order if not rule.body[p].negated
+        ) + tuple(p for p in order if rule.body[p].negated)
     position_map = {old: new for new, old in enumerate(order)}
 
     adorned_body: List[Optional[Literal]] = [None] * len(rule.body)
     for old_position, literal in enumerate(rule.body):
         if is_derived(literal):
+            if literal.negated:
+                # conservative restriction: never specialize through
+                # negation -- the occurrence's definition is reached
+                # all-free and computed completely, so the anti-join
+                # probes the full relation (at probe time all its
+                # variables are nevertheless bound by the positive
+                # prefix; safe negation guarantees the binders exist)
+                adorned_body[position_map[old_position]] = (
+                    literal.with_adornment(ALL_FREE(literal.arity))
+                )
+                continue
             incoming = sip.incoming_label(old_position)
             if sip.arcs_into(old_position):
                 bound_vars = set(incoming)

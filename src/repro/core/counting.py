@@ -34,7 +34,7 @@ from __future__ import annotations
 from typing import Dict, List, Set, Tuple
 
 from ..datalog.ast import Literal, Rule
-from ..datalog.errors import RewriteError
+from ..datalog.errors import RewriteError, UnsupportedProgramError
 from ..datalog.terms import Constant, LinExpr, Struct, Term, Variable
 from .adornment import AdornedProgram, AdornedRule
 from .magic import prune_dominated_magic
@@ -55,6 +55,30 @@ __all__ = [
 
 #: Functor of structural index terms.
 STRUCT_INDEX_FUNCTOR = "ix"
+
+
+def _reject_negation(adorned: AdornedProgram, method: str) -> None:
+    """The counting rewrites stay positive-only.
+
+    Counting indices encode derivation paths; an anti-join against an
+    index-carrying relation would compare paths, not tuples, so the
+    conservative carry-the-literal treatment the magic rewrites use
+    does not transfer.  Stratified programs get query-directed
+    evaluation through the magic family instead.
+    """
+    if adorned.original.has_negation():
+        offender = next(
+            lit
+            for rule in adorned.original.rules
+            for lit in rule.body
+            if lit.negated
+        )
+        raise UnsupportedProgramError(
+            f"program contains the negated literal {offender}: the "
+            f"{method} rewrite is defined for positive programs only; "
+            "use --method magic/supplementary_magic (or --method auto, "
+            "which resolves to the magic family) for stratified programs"
+        )
 
 
 class IndexScheme:
@@ -151,6 +175,7 @@ def counting_rewrite(
     optimize: bool = True,
 ) -> RewrittenProgram:
     """Rewrite an adorned program by the generalized counting method."""
+    _reject_negation(adorned, "counting")
     if mode not in _SCHEMES:
         raise ValueError(
             f"unknown index mode {mode!r}; expected one of {sorted(_SCHEMES)}"

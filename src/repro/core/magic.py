@@ -25,6 +25,14 @@ Propositions 4.2/4.3 are applied: a magic literal is dropped whenever the
 rule also contains a magic literal of a sip-predecessor (the ``=>``
 relation), which reproduces the simplified rule sets of Example 4 and
 Appendix A.3.
+
+Stratified programs (conservative extension): magic rules are emitted
+only for *positive* body occurrences, and their bodies only ever join
+positive literals (sip tails exclude negated occurrences).  Negated
+literals ride along in the modified rules unchanged -- adorned
+all-free by :mod:`repro.core.adornment`, so their definitions are
+computed completely and the anti-joins stay sound.  They never receive
+a magic guard and never seed a magic predicate.
 """
 
 from __future__ import annotations
@@ -90,6 +98,7 @@ def _arc_body(
         literal = adorned_rule.body[node]
         if (
             include_magic
+            and not literal.negated
             and literal.adornment is not None
             and "b" in literal.adornment
         ):
@@ -162,6 +171,11 @@ def _magic_rules_for(
     out: List[RewrittenRule] = []
     sip = adorned_rule.sip
     for position, literal in enumerate(adorned_rule.body):
+        if literal.negated:
+            # conservative restriction: negated occurrences never seed
+            # a magic predicate (they are adorned all-free anyway, so
+            # the next check would skip them -- this spells it out)
+            continue
         if literal.adornment is None or "b" not in literal.adornment:
             continue
         arcs = sip.arcs_into(position)
@@ -231,7 +245,11 @@ def _modified_rule_for(
         body.append(magic_literal_for(head))
         origins.append(BodyOrigin("guard"))
     for position, literal in enumerate(adorned_rule.body):
-        if literal.adornment is not None and "b" in literal.adornment:
+        if (
+            not literal.negated
+            and literal.adornment is not None
+            and "b" in literal.adornment
+        ):
             body.append(magic_literal_for(literal))
             origins.append(BodyOrigin("magic", position))
         body.append(literal)

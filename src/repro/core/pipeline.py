@@ -43,6 +43,7 @@ from .magic import magic_rewrite
 from .provenance import RewrittenProgram
 from .semijoin import semijoin_optimize
 from .sips import SipBuilder, build_full_sip
+from .stratify import stratify_or_raise
 from .supplementary import supplementary_magic_rewrite
 from .supplementary_counting import supplementary_counting_rewrite
 
@@ -79,6 +80,14 @@ def rewrite(
     ``mode`` selects the counting index encoding (``"numeric"`` or
     ``"structural"``); it is ignored by the magic methods.  ``semijoin``
     applies the Section 8 optimization (counting methods only).
+
+    Stratified programs are accepted by the magic methods via the
+    conservative extension (negated literals carried unchanged, their
+    definitions computed completely); the rewrite output is then
+    re-stratified before it is handed to the engines -- the
+    conservative construction preserves stratifiability, and a failure
+    here names the broken invariant instead of blaming the input.  The
+    counting methods remain positive-only.
     """
     if adorned is None:
         adorned = adorn_program(program, query, sip_builder)
@@ -104,6 +113,17 @@ def rewrite(
                 "(Section 8); it does not apply to the magic-sets methods"
             )
         result = semijoin_optimize(result)
+    if result.program.has_negation():
+        # the conservative rewrite must never break stratifiability;
+        # evaluating an unstratifiable output would be unsound, so this
+        # is checked before any engine sees the program
+        stratify_or_raise(
+            result.program,
+            context=f"internal invariant violated: the {method} rewrite "
+            f"of a stratified program for query {query} produced an "
+            "unstratifiable program (the conservative negation "
+            "treatment should make this impossible)",
+        )
     return result
 
 
@@ -159,11 +179,12 @@ def answer_query(
     on the adorned program) -- or ``"auto"`` to let the dispatcher
     choose.
 
-    Programs with negated body literals (stratified negation) are only
-    evaluable by the bottom-up baselines, which run stratum by stratum;
-    the rewrite methods and ``qsq`` raise
-    :class:`~repro.datalog.errors.UnsupportedProgramError` for them,
-    while ``"auto"`` falls back to stratified semi-naive.
+    Programs with negated body literals (stratified negation) are
+    evaluable by the bottom-up baselines (stratum by stratum) and by
+    the magic rewrite methods (conservative extension; ``"auto"``
+    resolves to supplementary magic for them too); the counting
+    rewrites and ``qsq`` raise
+    :class:`~repro.datalog.errors.UnsupportedProgramError`.
 
     ``use_planner`` selects the execution path for both bottom-up and
     QSQ strategies: compiled plans (default) or the legacy interpretive

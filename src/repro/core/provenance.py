@@ -112,10 +112,39 @@ class RewrittenProgram:
         return Program(tuple(rr.rule for rr in self.rules))
 
     def seeded_database(self, database: Database) -> Database:
-        """A copy of ``database`` with the seed facts added."""
+        """A copy of ``database`` with the seed facts added.
+
+        Facts asserted under an *original derived* predicate name
+        (``q(b).`` alongside rules for ``q``) participate in bottom-up
+        evaluation of the original program, so they are mirrored into
+        every same-arity adorned version of that predicate here --
+        otherwise the rewritten program would silently ignore them,
+        which under negation flips answers instead of merely shrinking
+        them.  Mirrored facts are true facts of the original relation,
+        so restricted (magic-guarded) relations only gain true rows and
+        all-free relations remain exactly the original extension.
+        Index-carrying counting predicates have different names or
+        arities and are never mirrored.
+        """
         seeded = database.copy()
         for seed in self.seed_facts:
             seeded.add_fact(seed)
+        mirror: Dict[str, Set[Tuple[str, int]]] = {}
+        for rewritten_rule in self.rules:
+            head = rewritten_rule.rule.head
+            if head.adornment is None or head.pred_key == head.pred:
+                continue
+            mirror.setdefault(head.pred, set()).add(
+                (head.pred_key, head.arity)
+            )
+        for pred, targets in mirror.items():
+            rows = database.tuples(pred)
+            if not rows:
+                continue
+            arity = len(next(iter(rows)))
+            for key, head_arity in sorted(targets):
+                if head_arity == arity:
+                    seeded.add_tuples(key, rows)
         return seeded
 
     def extract_answers(self, result: EvaluationResult) -> Set[Tuple[Term, ...]]:

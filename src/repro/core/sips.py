@@ -28,6 +28,13 @@ Builders are provided for the two sip families used throughout the paper:
 
 Both accept an evaluation ``order`` (a permutation of body positions), so
 right-to-left or optimizer-chosen orders are sips too.
+
+Negated body literals (stratified programs) are *consumers only*: an
+anti-join receives bindings but produces none, so a negated occurrence
+may be the target of an arc (the label records the variables the
+positive part binds for it) but never joins a tail and never
+contributes variables to later arcs.  Validation rejects hand-built
+arcs whose tail contains a negated position.
 """
 
 from __future__ import annotations
@@ -194,6 +201,12 @@ class Sip:
                 if not (0 <= node < n):
                     raise SipValidationError(
                         f"arc tail position {node} out of range"
+                    )
+                if self.rule.body[node].negated:
+                    raise SipValidationError(
+                        f"arc tail includes the negated literal "
+                        f"{self.rule.body[node]}: negated occurrences "
+                        "bind nothing (consumers only)"
                     )
             self._check_arc_conditions(arc)
         self._check_acyclic()
@@ -519,6 +532,10 @@ def build_full_sip(
             tail = _trim_tail(seen_nodes, label, node_vars)
             if tail:
                 arcs.append(SipArc(tail, position, label))
+        if literal.negated:
+            # consumer only: an anti-join binds nothing, so later
+            # literals cannot draw information from it
+            continue
         seen_nodes.append(position)
         available.update(literal.variables())
     return Sip(rule, adornment, tuple(arcs))
@@ -573,6 +590,9 @@ def build_chain_sip(
             tail = _trim_tail(tail_nodes, label, node_vars)
             if tail:
                 arcs.append(SipArc(tail, position, label))
+        if literal.negated:
+            # consumer only: never part of the remembered chain
+            continue
         processed.append(position)
     return Sip(rule, adornment, tuple(arcs))
 
@@ -647,5 +667,7 @@ def greedy_order(rule: Rule, adornment: str) -> Tuple[int, ...]:
         remaining.sort(key=score)
         chosen = remaining.pop(0)
         order.append(chosen)
-        available.update(rule.body[chosen].variables())
+        if not rule.body[chosen].negated:
+            # anti-joins consume bindings but produce none
+            available.update(rule.body[chosen].variables())
     return tuple(order)

@@ -26,12 +26,14 @@ Safe negation (every variable of a negated literal bound by a positive
 literal of the same rule) is checked separately -- see
 :func:`repro.core.safety.check_safe_negation`.
 
-The sip/adornment machinery and the four rewrites remain positive-only:
-:func:`repro.core.adornment.adorn_program` raises
-:class:`~repro.datalog.errors.UnsupportedProgramError` on negation
-rather than producing an unsound rewrite (magic sets for stratified
-programs need conservative magic-set extensions that are out of scope
-here; see the ROADMAP follow-on).
+The magic/supplementary rewrites accept stratified programs through the
+conservative extension (Balbin et al. / Kemp style) implemented in
+:mod:`repro.core.adornment`: bindings are never pushed through
+negation, negated occurrences are carried into the rewritten rules
+unchanged, and the rewrite pipeline re-stratifies its output via
+:func:`stratify_or_raise` (the conservative rewrite preserves
+stratifiability; a failure there is an internal invariant violation).
+The counting rewrites and the QSQ evaluator remain positive-only.
 """
 
 from __future__ import annotations
@@ -40,12 +42,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..datalog.analysis import polarity_edges, stratify_rules
+from ..datalog.analysis import stratify_or_raise as _stratify_or_raise
 from ..datalog.ast import Program
 from ..datalog.errors import StratificationError
 
 __all__ = [
     "Stratification",
     "stratify",
+    "stratify_or_raise",
     "is_stratified",
     "check_stratified",
 ]
@@ -109,6 +113,22 @@ def stratify(program: Program) -> Stratification:
     into a single stratum, so the engines can stratify unconditionally.
     """
     predicate_stratum, rule_strata = stratify_rules(program)
+    return Stratification(
+        program=program,
+        predicate_stratum=predicate_stratum,
+        rule_strata=rule_strata,
+    )
+
+
+def stratify_or_raise(program: Program, context: str = "") -> Stratification:
+    """:func:`stratify`, prefixing failures with a caller context.
+
+    The rewrite pipeline calls this on rewrite *output*: the
+    conservative magic rewrites preserve stratifiability, so a failure
+    with a ``context`` names the rewrite invariant that broke rather
+    than blaming the input program.
+    """
+    predicate_stratum, rule_strata = _stratify_or_raise(program, context)
     return Stratification(
         program=program,
         predicate_stratum=predicate_stratum,

@@ -20,6 +20,13 @@ Rules whose head adornment has no bound argument have no magic seed to
 anchor the supplementary chain; for those rules we fall back to plain
 GMS magic rules (their body occurrences can still receive arcs from
 body-only tails), which is a conservative, documented deviation.
+
+Stratified programs (conservative extension): the adorned body places
+every negated literal after the positive part, so the supplementary
+chain and the magic rules it feeds are built from *positive prefixes
+only*; negated literals are carried into the modified rule unchanged
+(adorned all-free, computed completely -- see
+:mod:`repro.core.adornment`) and never anchor or extend the chain.
 """
 
 from __future__ import annotations
@@ -182,9 +189,11 @@ def _rewrite_rule(
             )
 
     # magic rules: magic_q(theta^b) :- sup_j  for each arc-fed position
+    # (negated occurrences never qualify: adorned all-free, no magic)
     for position, literal in enumerate(adorned_rule.body):
         if (
-            literal.adornment is None
+            literal.negated
+            or literal.adornment is None
             or "b" not in literal.adornment
             or not adorned_rule.sip.arcs_into(position)
         ):

@@ -32,6 +32,7 @@ from .counting import (
     _indexed_literal,
     _is_bound_adorned,
     _modified_rule_for,
+    _reject_negation,
 )
 from .naming import counting_name, indexed_name, supplementary_counting_name
 from .provenance import (
@@ -56,6 +57,7 @@ def supplementary_counting_rewrite(
     optimize: bool = True,
 ) -> RewrittenProgram:
     """Rewrite an adorned program by generalized supplementary counting."""
+    _reject_negation(adorned, "supplementary counting")
     if mode not in _SCHEMES:
         raise ValueError(
             f"unknown index mode {mode!r}; expected one of {sorted(_SCHEMES)}"

@@ -118,10 +118,12 @@ class StratificationError(EvaluationError):
 class UnsupportedProgramError(ReproError):
     """Raised when a pipeline stage cannot handle a (valid) program.
 
-    The sip/adornment machinery and the four magic/counting rewrites of
-    the paper are defined for positive programs only; handing them a
-    stratified program with negation raises this error instead of
-    silently treating ``not p`` as ``p``.  Evaluate such programs with
-    the bottom-up engines (``--method naive``/``seminaive``), which run
-    stratum by stratum.
+    The magic/supplementary rewrites accept stratified programs through
+    the conservative extension (negated literals are carried unchanged
+    and their definitions computed completely), but the counting
+    rewrites and the QSQ evaluator remain positive-only: they raise
+    this error instead of silently treating ``not p`` as ``p``.
+    ``--method auto`` resolves stratified programs to the bottom-up
+    magic path; the plain bottom-up engines
+    (``--method naive``/``seminaive``) evaluate them too.
     """

@@ -673,8 +673,8 @@ def compile_subquery_rule(rule: Rule, derived_keys: Set[str]) -> SubqueryPlan:
     if rule.has_negation():
         raise UnsupportedProgramError(
             f"rule {rule}: the QSQ evaluator handles positive programs "
-            "only; evaluate stratified programs bottom-up "
-            "(method='naive'/'seminaive')"
+            "only; use method='auto' for stratified programs (it "
+            "resolves to the bottom-up magic path)"
         )
     slots: Dict[Variable, int] = {
         var: i for i, var in enumerate(rule.variables())

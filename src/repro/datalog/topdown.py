@@ -200,9 +200,10 @@ def qsq_evaluate(
     """
     if adorned_program.has_negation():
         raise UnsupportedProgramError(
-            "the QSQ evaluator handles positive programs only; evaluate "
-            "stratified programs with negation bottom-up "
-            "(method='naive'/'seminaive')"
+            "the QSQ evaluator handles positive programs only; use "
+            "method='auto' for stratified programs with negation (it "
+            "resolves to the bottom-up magic path, which is "
+            "query-directed too)"
         )
     derived = adorned_program.derived_predicates()
     query_key = query_literal.pred_key

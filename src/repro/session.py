@@ -11,13 +11,16 @@ scratch, and the caller has to know which methods tolerate negation.
 * :meth:`Session.query` returns a :class:`QueryResult` (rows, the
   method actually run, work counters, plan-cache and memo counters, an
   ``explain()`` hook) and accepts ``method="auto"``: magic-family
-  rewriting through the shared plan cache for positive programs,
-  falling back to compiled stratified semi-naive when the adornment
-  machinery rejects the program, with QSQ selectable explicitly;
+  rewriting through the shared plan cache -- for positive *and*
+  stratified programs (the conservative negation extension) -- falling
+  back to compiled stratified semi-naive only when the adornment
+  machinery genuinely rejects the program, with QSQ selectable
+  explicitly;
 * answers are memoized across evaluations, keyed by
   ``(program, database version, query signature, options)``: a repeated
-  identical query on an unchanged database is a dictionary hit, and any
-  mutation drops the stale entries;
+  identical query on an unchanged database is a dictionary hit, and a
+  mutation drops exactly the entries whose relation footprint it
+  touches (out-of-band mutations still flush everything);
 * adorned and rewritten programs are cached per query signature, so a
   re-query after a mutation pays evaluation but not rewriting, and the
   compiled join/subquery plans come from the shared
@@ -59,6 +62,7 @@ from .core.pipeline import (
 )
 from .core.provenance import RewrittenProgram
 from .core.sips import SipBuilder, build_full_sip
+from .datalog.analysis import reachable_predicates
 from .datalog.ast import Literal, Program, Query
 from .datalog.database import Database, FactTuple
 from .datalog.derivation import DerivationNode
@@ -89,10 +93,11 @@ BASELINE_METHODS = ("naive", "seminaive", "qsq")
 #: everything Session.query accepts for ``method``
 SESSION_METHODS = ("auto",) + REWRITE_METHODS + BASELINE_METHODS
 
-#: what ``method="auto"`` tries first on positive programs
+#: what ``method="auto"`` tries first -- on positive AND stratified
+#: programs (the conservative magic extension handles negation)
 _AUTO_PRIMARY = "supplementary_magic"
 
-#: what it falls back to (stratified-capable compiled bottom-up)
+#: what it falls back to (compiled bottom-up, stratum by stratum)
 _AUTO_FALLBACK = "seminaive"
 
 #: errors that route auto-dispatch to the bottom-up fallback AND cache
@@ -184,6 +189,11 @@ class QueryResult:
         return self._session.explain(self.query, limit=limit)
 
 
+def _mentioned_relations(program: Program, extra=()) -> frozenset:
+    """Every relation key an evaluation of ``program`` can touch."""
+    return frozenset(program.predicates()) | frozenset(extra)
+
+
 class Session:
     """A stateful query session over one program and one database.
 
@@ -197,9 +207,11 @@ class Session:
     Facts can be asserted and retracted between queries (:meth:`add`,
     :meth:`add_values`, :meth:`add_many`, :meth:`retract`,
     :meth:`retract_values`); every mutation bumps the database version
-    and drops the memoized answers.  ``session.query(...)`` accepts the
-    query as text or as a parsed :class:`Query`, and ``method`` as one
-    of :data:`SESSION_METHODS` (default ``"auto"``).
+    and drops the memoized answers whose relation footprint it touches
+    (out-of-band mutations through direct ``Relation`` access drop all
+    of them).  ``session.query(...)`` accepts the query as text or as
+    a parsed :class:`Query`, and ``method`` as one of
+    :data:`SESSION_METHODS` (default ``"auto"``).
     """
 
     def __init__(
@@ -240,8 +252,13 @@ class Session:
         self.memo_hits = 0
         self.memo_misses = 0
         self.memo_invalidations = 0
+        #: mutations whose invalidation was footprint-targeted and kept
+        #: at least one entry alive (the finer invalidation paying off)
+        self.memo_partial_invalidations = 0
         self._memo_size = memo_size
         self._memo: "OrderedDict[tuple, QueryResult]" = OrderedDict()
+        #: memo key -> the relation names its rows depend on
+        self._memo_footprints: Dict[tuple, frozenset] = {}
         self._memo_version = database.version
         #: per-signature auto-dispatch decisions and per-query compiled
         #: artifacts; all depend only on the (immutable) program and the
@@ -276,6 +293,7 @@ class Session:
             "memo_hits": self.memo_hits,
             "memo_misses": self.memo_misses,
             "memo_invalidations": self.memo_invalidations,
+            "memo_partial_invalidations": self.memo_partial_invalidations,
             "memo_entries": len(self._memo),
             "plan_cache_hits": self._plan_cache.hits,
             "plan_cache_misses": self._plan_cache.misses,
@@ -288,60 +306,68 @@ class Session:
     def add(self, fact: Union[str, Literal]) -> bool:
         """Assert one ground fact (text like ``"par(a, b)"`` or a
         Literal); returns True when it was new."""
-        added = self._database.add_fact(self._as_fact(fact))
-        self._note_mutation()
+        fact = self._as_fact(fact)
+        self._note_mutation()  # reconcile out-of-band drift first
+        added = self._database.add_fact(fact)
+        self._note_mutation({fact.pred_key})
         return added
 
     def add_facts(self, facts: Iterable[Union[str, Literal]]) -> int:
-        count = self._database.add_facts(
-            self._as_fact(fact) for fact in facts
-        )
+        literals = [self._as_fact(fact) for fact in facts]
         self._note_mutation()
+        count = self._database.add_facts(literals)
+        self._note_mutation({lit.pred_key for lit in literals})
         return count
 
     def add_values(
         self, pred_key: str, rows: Iterable[Iterable[object]]
     ) -> int:
         """Assert rows of raw Python values under one predicate."""
-        count = self._database.add_values(pred_key, rows)
         self._note_mutation()
+        count = self._database.add_values(pred_key, rows)
+        self._note_mutation({pred_key})
         return count
 
     def add_many(
         self, pred_key: str, rows: Iterable[Iterable[Term]]
     ) -> int:
         """Assert rows of ground Terms under one predicate."""
-        count = self._database.add_tuples(pred_key, rows)
         self._note_mutation()
+        count = self._database.add_tuples(pred_key, rows)
+        self._note_mutation({pred_key})
         return count
 
     def retract(self, fact: Union[str, Literal]) -> bool:
         """Retract one ground fact; returns True when it was present."""
-        removed = self._database.retract_fact(self._as_fact(fact))
+        fact = self._as_fact(fact)
         self._note_mutation()
+        removed = self._database.retract_fact(fact)
+        self._note_mutation({fact.pred_key})
         return removed
 
     def retract_facts(self, facts: Iterable[Union[str, Literal]]) -> int:
-        count = self._database.retract_facts(
-            self._as_fact(fact) for fact in facts
-        )
+        literals = [self._as_fact(fact) for fact in facts]
         self._note_mutation()
+        count = self._database.retract_facts(literals)
+        self._note_mutation({lit.pred_key for lit in literals})
         return count
 
     def retract_values(
         self, pred_key: str, rows: Iterable[Iterable[object]]
     ) -> int:
         """Retract rows of raw Python values under one predicate."""
-        count = self._database.retract_values(pred_key, rows)
         self._note_mutation()
+        count = self._database.retract_values(pred_key, rows)
+        self._note_mutation({pred_key})
         return count
 
     def retract_many(
         self, pred_key: str, rows: Iterable[Iterable[Term]]
     ) -> int:
         """Retract rows of ground Terms under one predicate."""
-        count = self._database.retract_tuples(pred_key, rows)
         self._note_mutation()
+        count = self._database.retract_tuples(pred_key, rows)
+        self._note_mutation({pred_key})
         return count
 
     @staticmethod
@@ -350,14 +376,50 @@ class Session:
             fact = parse_literal(fact.rstrip().rstrip("."))
         return fact
 
-    def _note_mutation(self) -> None:
-        """Drop memoized answers if the database version moved."""
+    def _note_mutation(self, touched: Optional[Set[str]] = None) -> None:
+        """Reconcile the memo with the database version.
+
+        ``touched`` is the set of relation names a Session-mediated
+        mutation just changed: only entries whose recorded relation
+        footprint intersects it are dropped; the rest stay valid and
+        are re-keyed to the new version.  ``touched=None`` means the
+        provenance of the version move is unknown (an out-of-band
+        mutation through direct ``Relation`` access), so every entry is
+        dropped.  Dropped entries count toward ``memo_invalidations``;
+        a targeted pass that keeps at least one entry alive bumps
+        ``memo_partial_invalidations``.
+        """
         version = self._database.version
-        if version != self._memo_version:
-            if self._memo:
-                self.memo_invalidations += len(self._memo)
+        if version == self._memo_version:
+            return
+        if touched is None or not self._memo:
+            dropped = len(self._memo)
+            if dropped:
+                self.memo_invalidations += dropped
                 self._memo.clear()
+                self._memo_footprints.clear()
             self._memo_version = version
+            return
+        survivors: "OrderedDict[tuple, QueryResult]" = OrderedDict()
+        footprints: Dict[tuple, frozenset] = {}
+        dropped = 0
+        for key, cached in self._memo.items():
+            footprint = self._memo_footprints.get(key)
+            if footprint is None or footprint & touched:
+                dropped += 1
+                continue
+            # disjoint footprint: the rows cannot have changed, so the
+            # entry is re-keyed to the new version (the version is the
+            # last component of every memo key) and stays servable
+            new_key = key[:-1] + (version,)
+            survivors[new_key] = replace(cached, db_version=version)
+            footprints[new_key] = footprint
+        self.memo_invalidations += dropped
+        if survivors:
+            self.memo_partial_invalidations += 1
+        self._memo = survivors
+        self._memo_footprints = footprints
+        self._memo_version = version
 
     # ------------------------------------------------------------------
     # querying
@@ -458,8 +520,10 @@ class Session:
         )
         assert executed != "auto"
         self._memo[key] = self._slim_for_memo(result)
+        self._memo_footprints[key] = self._footprint_for(query, answer)
         while len(self._memo) > self._memo_size:
-            self._memo.popitem(last=False)
+            evicted, _ = self._memo.popitem(last=False)
+            self._memo_footprints.pop(evicted, None)
         return result
 
     @staticmethod
@@ -491,6 +555,42 @@ class Session:
                 )
             answer = replace(answer, answers=rows, evaluation=None, qsq=qsq)
         return replace(result, rows=rows, answer=answer)
+
+    def _footprint_for(self, query: Query, answer: QueryAnswer) -> frozenset:
+        """Relation names the memoized rows depend on.
+
+        The rewrite methods read the relations their rewritten program
+        mentions, plus every original name reachable from the query
+        predicate (``seeded_database`` mirrors facts asserted under
+        original derived names into the adorned relations) -- so
+        mutating a relation outside the query's cone leaves the entry
+        valid.  QSQ reads the adorned program's relations.  The
+        bottom-up baselines evaluate the original program and extract
+        from the query predicate's relation, so everything reachable
+        from the query predicate participates (derived names included:
+        evaluation seeds derived relations with any pre-existing facts
+        under those names).
+        """
+        rewritten = answer.rewritten
+        if rewritten is not None:
+            return _mentioned_relations(
+                rewritten.program,
+                extra=(rewritten.answer_pred_key,)
+                + tuple(seed.pred_key for seed in rewritten.seed_facts),
+            ) | frozenset(
+                reachable_predicates(
+                    self._program, [query.literal.pred_key]
+                )
+            )
+        if answer.qsq is not None:
+            adorned = self._adorned_for(query)
+            return _mentioned_relations(
+                adorned.program,
+                extra=(adorned.query_literal.pred_key,),
+            )
+        return frozenset(
+            reachable_predicates(self._program, [query.literal.pred_key])
+        )
 
     def _as_query(self, query: Union[str, Query, None]) -> Query:
         if query is None:
@@ -531,13 +631,11 @@ class Session:
         # that feed the rewrite, so one option set cannot poison the
         # dispatch of another (notably plain default-option queries)
         decision_key = (self._signature(query), mode, optimize, semijoin)
-        choice = self._auto_choice.get(decision_key)
-        if choice is None:
-            choice = (
-                _AUTO_FALLBACK
-                if self._program.has_negation()
-                else _AUTO_PRIMARY
-            )
+        # stratified programs get the rewrite attempt too (conservative
+        # magic extension); only a genuine adornment-level rejection --
+        # cached per signature -- routes a query to the bottom-up
+        # fallback permanently
+        choice = self._auto_choice.get(decision_key, _AUTO_PRIMARY)
         if choice == _AUTO_PRIMARY:
             try:
                 answer = self._execute(
@@ -561,8 +659,6 @@ class Session:
             else:
                 self._auto_choice[decision_key] = _AUTO_PRIMARY
                 return _AUTO_PRIMARY, answer
-        else:
-            self._auto_choice[decision_key] = choice
         answer = self._execute(
             query,
             choice,

@@ -6,8 +6,11 @@ part-subpart tree (``subpart(P, S)``: assembly ``P`` directly contains
 need set complement:
 
 * ``component(P, S)`` -- the transitive explosion (stratum 0);
-* ``tainted(P)``      -- parts that are exceptions or contain one
-  (stratum 0, positive);
+* ``tainted(P)``      -- parts that are exceptions or contain one,
+  propagated edge-by-edge up the part tree (stratum 0, positive; its
+  cone deliberately avoids the ``component`` explosion so the
+  conservative magic rewrite of a selective ``clean`` query only pays
+  for the queried part's subtree);
 * ``clean(P, S)``     -- components *not* tainted (stratum 1, one
   negation);
 * ``blocked(P)``      -- assemblies with at least one non-clean
@@ -18,11 +21,14 @@ need set complement:
 Generators are parameterized by tree ``depth``, ``fanout``, and an
 ``exception_rate`` (per-part probability, seeded RNG), so benchmarks
 can scale the workload and CI can shrink it.  ``bom_source`` renders a
-complete ``.dl`` text (rules + facts + query) for the CLI:
+complete ``.dl`` text (rules + facts + query) for the CLI; since the
+magic rewrites accept stratified programs, ``--method auto`` (or an
+explicit ``--method magic``/``supplementary_magic``) works alongside
+the bottom-up baselines:
 
     python -m repro workload bom --depth 4 --fanout 2 \\
         --exception-rate 0.15 --seed 7 > bom.dl
-    python -m repro query bom.dl --method seminaive
+    python -m repro query bom.dl --method auto --stats
 """
 
 from __future__ import annotations
@@ -49,7 +55,7 @@ BOM = """
 component(P, S) :- subpart(P, S).
 component(P, S) :- subpart(P, M), component(M, S).
 tainted(P) :- exception(P).
-tainted(P) :- component(P, S), exception(S).
+tainted(P) :- subpart(P, S), tainted(S).
 clean(P, S) :- component(P, S), not tainted(S).
 blocked(P) :- component(P, S), not clean(P, S).
 buildable(P) :- part(P), not blocked(P).

@@ -298,31 +298,69 @@ class TestEngineSemantics:
 
 
 # ----------------------------------------------------------------------
-# positive-only stages reject negation
+# which stages accept negation: magic family yes, counting/qsq no
 # ----------------------------------------------------------------------
 
-class TestUnsupportedStages:
-    def test_adorn_program_rejects_negation(self):
-        program = prog("p(X) :- e(X), not q(X).")
-        with pytest.raises(UnsupportedProgramError) as exc:
-            adorn_program(program, parse_query("p(a)?"))
-        message = str(exc.value)
-        assert "not q(X)" in message
-        assert "seminaive" in message  # points at the supported path
+class TestStageSupport:
+    def test_adorn_program_accepts_stratified(self):
+        program = prog("p(X) :- e(X), not q(X).\nq(X) :- bad(X).")
+        adorned = adorn_program(program, parse_query("p(a)?"))
+        (rule,) = [
+            ar for ar in adorned.rules if ar.head.pred == "p"
+        ]
+        negated = [lit for lit in rule.body if lit.negated]
+        assert len(negated) == 1
+        # conservative: all-free adornment, never specialized
+        assert negated[0].adornment == "f"
+        # consumers come last: the positive binder precedes the anti-join
+        assert rule.body[-1].negated
 
-    def test_rewrite_methods_reject_negation(self):
+    def test_adorn_program_orders_negated_last(self):
+        program = prog("p(X) :- not q(X), e(X).\nq(X) :- bad(X).")
+        adorned = adorn_program(program, parse_query("p(a)?"))
+        (rule,) = [
+            ar for ar in adorned.rules if ar.head.pred == "p"
+        ]
+        assert [lit.pred for lit in rule.body] == ["e", "q"]
+        assert rule.body[1].negated
+
+    def test_adorn_program_rejects_unsafe_negation(self):
+        program = prog("p(X) :- e(X), not q(X, Y).")
+        with pytest.raises(UnsafeNegationError):
+            adorn_program(program, parse_query("p(a)?"))
+
+    def test_adorn_program_rejects_unstratified(self):
+        program = prog("win(X) :- move(X, Y), not win(Y).")
+        with pytest.raises(StratificationError):
+            adorn_program(program, parse_query("win(a)?"))
+
+    def test_magic_rewrites_answer_stratified(self):
         program = prog("p(X) :- e(X), not q(X).")
-        for method in ("magic", "supplementary_magic", "counting"):
-            with pytest.raises(UnsupportedProgramError):
+        database = db(e=["a", "b"], q=["a"])
+        for method in ("magic", "supplementary_magic"):
+            answer = answer_query(
+                program, database, parse_query("p(X)?"), method=method
+            )
+            assert answer.values() == {("b",)}
+            assert answer.strategy == method
+
+    def test_counting_rewrites_reject_negation(self):
+        program = prog("p(X) :- e(X), not q(X).")
+        for method in ("counting", "supplementary_counting"):
+            with pytest.raises(UnsupportedProgramError) as exc:
                 rewrite(program, parse_query("p(a)?"), method=method)
+            message = str(exc.value)
+            assert "not q(X)" in message
+            assert "auto" in message  # points at the supported path
 
     def test_qsq_rejects_negation(self):
         program = prog("p(X) :- e(X), not q(X).")
         query_literal = Literal(
             "p", (Variable("X"),), adornment="f"
         )
-        with pytest.raises(UnsupportedProgramError):
+        with pytest.raises(UnsupportedProgramError) as exc:
             qsq_evaluate(program, db(e=["a"]), query_literal)
+        assert "auto" in str(exc.value)  # the recommended path
 
     def test_answer_query_baselines_work(self):
         program = prog("p(X) :- e(X), not q(X).")
@@ -332,10 +370,13 @@ class TestUnsupportedStages:
             answer = answer_query(program, database, query, method=method)
             assert answer.values() == {("b",)}
 
-    def test_answer_query_default_method_raises(self):
+    def test_answer_query_default_method_works(self):
         program = prog("p(X) :- e(X), not q(X).")
-        with pytest.raises(UnsupportedProgramError):
-            answer_query(program, db(e=["a"]), parse_query("p(X)?"))
+        answer = answer_query(
+            program, db(e=["a", "b"], q=["a"]), parse_query("p(X)?")
+        )
+        assert answer.strategy == "supplementary_magic"
+        assert answer.values() == {("b",)}
 
 
 # ----------------------------------------------------------------------
@@ -364,13 +405,40 @@ class TestCli:
         assert main(["workload", "bom", "--seed", "9"]) == 0
         assert capsys.readouterr().out == first
 
-    def test_query_rewrite_method_fails_loudly(self, tmp_path, capsys):
+    def test_query_default_method_rewrites_stratified(
+        self, tmp_path, capsys
+    ):
+        # the default --method supplementary_magic now handles the
+        # stratified BOM source through the conservative rewrite
         path = tmp_path / "bom.dl"
         path.write_text(bom_source(depth=2))
-        assert main(["query", str(path)]) == 1
+        assert main(["query", str(path), "--stats"]) == 0
+        out = capsys.readouterr()
+        assert "bindings for (P)" in out.out
+        assert "method=supplementary_magic" in out.err
+
+    def test_query_counting_method_fails_loudly(self, tmp_path, capsys):
+        path = tmp_path / "bom.dl"
+        path.write_text(bom_source(depth=2))
+        assert main(["query", str(path), "--method", "counting"]) == 1
         err = capsys.readouterr().err
         assert "positive programs only" in err
-        assert "naive" in err
+        assert "auto" in err  # points at the supported path
+
+    def test_rewrite_command_prints_stratified_magic(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "bom.dl"
+        path.write_text(bom_source(depth=2))
+        assert main(
+            ["rewrite", str(path), "--method", "magic"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "not tainted^f(" in out  # carried unchanged, all-free
+        # the negated occurrence never seeds magic (its all-free
+        # version has no magic predicate); positive occurrences inside
+        # tainted's own cone may still be magic-restricted
+        assert "magic_tainted_f" not in out
 
     def test_safety_reports_strata(self, tmp_path, capsys):
         path = tmp_path / "bom.dl"

@@ -112,18 +112,28 @@ class TestAutoDispatch:
         assert result.requested_method == "auto"
         assert result.method == "supplementary_magic"
 
-    def test_negated_program_falls_back_to_seminaive(self):
+    def test_negated_program_gets_the_rewrite_too(self):
+        # the conservative magic extension: auto no longer falls back
+        # to plain bottom-up just because the program negates
         session = Session(STRATIFIED)
         result = session.query()
-        assert result.method == "seminaive"
+        assert result.method == "supplementary_magic"
         assert result.values() == {("c",)}
 
-    def test_explicit_rewrite_on_negated_program_still_raises(self):
+    def test_explicit_magic_on_negated_program_works(self):
+        session = Session(STRATIFIED)
+        for method in ("magic", "supplementary_magic"):
+            result = session.query(method=method)
+            assert result.method == method
+            assert result.values() == {("c",)}
+
+    def test_counting_and_qsq_on_negated_program_still_raise(self):
         session = Session(STRATIFIED)
         with pytest.raises(UnsupportedProgramError):
-            session.query(method="supplementary_magic")
-        with pytest.raises(UnsupportedProgramError):
+            session.query(method="counting")
+        with pytest.raises(UnsupportedProgramError) as exc:
             session.query(method="qsq")
+        assert "auto" in str(exc.value)
 
     @pytest.mark.parametrize("method", POSITIVE_METHODS)
     def test_auto_identical_to_every_method_positive(self, method):
@@ -334,7 +344,9 @@ class TestInvalidation:
         assert full.values() - trimmed.values() == {("ann",)}
 
     @pytest.mark.parametrize("engine,use_planner", ENGINE_CONFIGS)
-    def test_retract_then_requery_stratified(self, engine, use_planner):
+    def test_retract_then_requery_stratified_bottom_up(
+        self, engine, use_planner
+    ):
         session = Session(STRATIFIED, use_planner=use_planner)
         before = session.query(method=engine, use_planner=use_planner)
         assert before.values() == {("c",)}
@@ -342,6 +354,90 @@ class TestInvalidation:
         session.retract("recalled(c)")
         after = session.query(method=engine, use_planner=use_planner)
         assert after.values() == {("a",), ("b",), ("c",)}
+
+    @pytest.mark.parametrize("method", ("auto", "magic"))
+    def test_retract_then_requery_stratified_rewrites(self, method):
+        session = Session(STRATIFIED)
+        before = session.query(method=method)
+        assert before.values() == {("c",)}
+        session.retract("recalled(c)")
+        after = session.query(method=method)
+        assert after.values() == {("a",), ("b",), ("c",)}
+
+
+#: two independent cones: mutating one must not evict the other's memo
+TWO_CONES = """
+    anc(X, Y) :- par(X, Y).
+    anc(X, Y) :- par(X, Z), anc(Z, Y).
+    friend(X, Y) :- knows(X, Y).
+    par(john, mary). par(mary, sue).
+    knows(a, b).
+"""
+
+
+class TestFootprintInvalidation:
+    @pytest.mark.parametrize(
+        "method", ("auto", "supplementary_magic", "qsq", "seminaive")
+    )
+    def test_disjoint_mutation_keeps_entry(self, method):
+        session = Session(TWO_CONES)
+        cold = session.query("anc(john, X)?", method=method)
+        session.add("knows(a, c)")  # outside the anc footprint
+        hit = session.query("anc(john, X)?", method=method)
+        assert hit.from_memo
+        assert hit.rows == cold.rows
+        assert hit.db_version == session.version  # re-keyed, still valid
+        assert session.memo_partial_invalidations == 1
+        assert session.memo_invalidations == 0
+
+    def test_intersecting_mutation_drops_entry(self):
+        session = Session(TWO_CONES)
+        session.query("anc(john, X)?")
+        session.add("par(sue, ann)")  # inside the anc footprint
+        result = session.query("anc(john, X)?")
+        assert not result.from_memo
+        assert ("ann",) in result.values()
+        assert session.memo_invalidations == 1
+        # nothing survived, so the pass was not a partial invalidation
+        assert session.memo_partial_invalidations == 0
+
+    def test_mixed_mutation_splits_the_memo(self):
+        session = Session(TWO_CONES)
+        session.query("anc(john, X)?")
+        session.query("friend(a, Y)?")
+        session.retract("knows(a, b)")
+        assert session.memo_invalidations == 1  # the friend entry
+        assert session.memo_partial_invalidations == 1  # anc survived
+        assert session.query("anc(john, X)?").from_memo
+        fresh = session.query("friend(a, Y)?")
+        assert not fresh.from_memo and fresh.values() == set()
+
+    def test_out_of_band_mutation_still_flushes_everything(self):
+        session = Session(TWO_CONES)
+        session.query("anc(john, X)?")
+        session.query("friend(a, Y)?")
+        session.database.add_values("knows", [("a", "z")])
+        assert not session.query("anc(john, X)?").from_memo
+        assert session.memo_partial_invalidations == 0
+
+    def test_stratified_footprint_covers_negated_cone(self):
+        # the negated predicate's relations are part of the footprint:
+        # mutating them must invalidate even though the rewrite carries
+        # the literal conservatively
+        session = Session(STRATIFIED)
+        session.query()  # auto -> supplementary_magic
+        session.retract("recalled(c)")
+        result = session.query()
+        assert not result.from_memo
+        assert result.values() == {("a",), ("b",), ("c",)}
+
+    def test_counters_expose_partial_invalidations(self):
+        session = Session(TWO_CONES)
+        session.query("anc(john, X)?")
+        session.add("knows(a, c)")
+        assert (
+            session.counters()["memo_partial_invalidations"] == 1
+        )
 
 
 class TestQueryResult:
@@ -438,7 +534,7 @@ class TestLegacyShims:
         answer = answer_query(
             parsed.program, db, parsed.queries[0], method="auto"
         )
-        assert answer.strategy == "seminaive"
+        assert answer.strategy == "supplementary_magic"
         assert answer.values() == {("c",)}
 
 
