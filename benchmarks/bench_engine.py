@@ -11,7 +11,7 @@ import pytest
 from repro import answer_query, bottom_up_answer
 from repro.workloads import ancestor_program, ancestor_query, chain_database
 
-from conftest import print_table
+from conftest import print_table, record_bench
 
 SIZES = [20, 40, 80]
 
@@ -70,6 +70,63 @@ def test_qsq_vs_magic_same_work_shape(benchmark):
     assert magic_facts == qsq.answers["anc^bf"]
     magic_queries = magic_result.database.tuples("magic_anc_bf")
     assert magic_queries == qsq.queries["anc^bf"]
+
+
+def test_columnar_batch_vs_legacy_rows(benchmark):
+    """Columnar execution ablation at the engine level: the same
+    semi-naive fixpoint run through (a) the legacy interpretive joins,
+    (b) compiled plans executed a row-frame at a time, and (c) compiled
+    plans executed over columns of interned term IDs.  All three derive
+    the identical fact set; the table records what the storage/execution
+    substrate alone is worth.  No wall-clock gate here -- the >= 5x gate
+    lives in bench_join_planning.py at depth >= 100."""
+    import time
+
+    from repro import evaluate_seminaive
+
+    program = ancestor_program()
+    db = chain_database(120)
+
+    def best_of(fn, reps=3):
+        fn()
+        best = float("inf")
+        result = None
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - t0)
+        return result, best
+
+    paths = [
+        ("legacy rows", dict(use_planner=False)),
+        ("compiled rows", dict(vectorized=False)),
+        ("columnar batch", dict(vectorized=True)),
+    ]
+    rows = []
+    results = {}
+    for label, kwargs in paths:
+        result, seconds = best_of(
+            lambda kwargs=kwargs: evaluate_seminaive(program, db, **kwargs)
+        )
+        results[label] = result
+        rows.append([label, result.stats.facts_derived, f"{seconds:.3f}"])
+        record_bench(
+            {"workload": "columnar ablation, ancestor chain 120",
+             "path": label, "seconds": seconds,
+             "facts": result.stats.facts_derived}
+        )
+    baseline = results["legacy rows"]
+    for label in ("compiled rows", "columnar batch"):
+        assert results[label].derived_tuples("anc") == baseline.derived_tuples(
+            "anc"
+        )
+        assert results[label].stats.facts_derived == baseline.stats.facts_derived
+    print_table(
+        "columnar ablation: ancestor on chain 120",
+        ["path", "facts", "seconds"],
+        rows,
+    )
+    benchmark(lambda: evaluate_seminaive(program, db))
 
 
 def test_add_many_bulk_load_beats_per_row_adds(benchmark):

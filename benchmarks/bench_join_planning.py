@@ -1,15 +1,27 @@
-"""Join-plan compiler ablation: legacy interpretive joins vs compiled plans.
+"""Join-execution ablation: legacy interpretive joins vs compiled plans
+vs batch-vectorized columnar execution.
 
 Not a paper artifact: the paper measures rewriting strategies by facts
-computed, and both execution paths derive the *same* facts (asserted
-here).  What the planner changes is the substrate cost per fact -- the
-ROADMAP's "fast as the hardware allows" axis: delta-first join orders,
-up-front index registration, and slot frames instead of per-row dict
-substitutions.  ``tuples_scanned`` is the machine-independent proxy
-(rows touched while extending partial matches); wall-clock is timed via
-pytest-benchmark on the planner path.
+computed, and all three execution paths derive the *same* facts
+(asserted here).  What they change is the substrate cost per fact -- the
+ROADMAP's "fast as the hardware allows" axis:
+
+* **legacy** (``use_planner=False``): per-row dict substitutions,
+  join strategy re-derived per candidate row;
+* **row-compiled** (``use_planner=True, vectorized=False``): compiled
+  :class:`JoinPlan` slot frames, one index probe per frame;
+* **batch** (the default): columns of interned term IDs, one index
+  probe per *distinct* key in the batch, column-at-a-time emission.
+
+``tuples_scanned`` is the machine-independent proxy (rows touched while
+extending partial matches); wall-clock is timed via pytest-benchmark on
+the batch path.  The batch-vs-row-compiled speedup is gated at >= 5x
+for depth >= 100 workloads (``BENCH_TIMING_STRICT=0`` disarms the
+wall-clock gate on noisy shared runners; the content equality and
+stats-parity assertions always run).
 """
 
+import os
 import time
 
 import pytest
@@ -22,47 +34,100 @@ from repro.workloads import (
     samegen_database,
 )
 
-from conftest import print_table
+from conftest import print_table, record_bench
 
 DEPTHS = [100, 200]
+MIN_BATCH_SPEEDUP = 5.0
+TIMING_STRICT = os.environ.get("BENCH_TIMING_STRICT", "1") != "0"
 
 
-def run_both(program, db):
+def _best_of(fn, reps=5):
+    fn()  # warm-up: term interning, indexes, allocator steady state
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+def run_three(program, db):
+    """One legacy run, best-of-5 for the compiled pair (they are the
+    gated comparison and individually fast enough to be noisy)."""
     t0 = time.perf_counter()
     legacy = evaluate_seminaive(program, db, use_planner=False)
-    t1 = time.perf_counter()
-    planned = evaluate_seminaive(program, db, use_planner=True)
-    t2 = time.perf_counter()
-    return legacy, planned, t1 - t0, t2 - t1
+    legacy_s = time.perf_counter() - t0
+    row, row_s = _best_of(
+        lambda: evaluate_seminaive(program, db, vectorized=False)
+    )
+    batch, batch_s = _best_of(
+        lambda: evaluate_seminaive(program, db, vectorized=True)
+    )
+    return legacy, row, batch, legacy_s, row_s, batch_s
 
 
-def assert_equivalent_but_cheaper(legacy, planned, pred_key):
-    assert planned.derived_tuples(pred_key) == legacy.derived_tuples(pred_key)
-    assert planned.stats.facts_derived == legacy.stats.facts_derived
-    assert planned.stats.rule_firings == legacy.stats.rule_firings
-    # the planner's whole point: strictly fewer rows touched
-    assert planned.stats.tuples_scanned < legacy.stats.tuples_scanned
+def assert_equivalent_but_cheaper(legacy, row, batch, pred_key):
+    for planned in (row, batch):
+        assert planned.derived_tuples(pred_key) == legacy.derived_tuples(
+            pred_key
+        )
+        assert planned.stats.facts_derived == legacy.stats.facts_derived
+        assert planned.stats.rule_firings == legacy.stats.rule_firings
+        # the planner's whole point: strictly fewer rows touched
+        assert planned.stats.tuples_scanned < legacy.stats.tuples_scanned
+    # batching's whole point: fewer probes (one per distinct key)
+    assert batch.stats.join_probes <= row.stats.join_probes
 
 
-@pytest.mark.parametrize("depth", DEPTHS)
-def test_ancestor_chain_planning(benchmark, depth):
-    """Linear ancestor on a chain: the legacy path rescans ``par`` fully
-    every round; the delta-first plan probes it through the index."""
-    program = ancestor_program()
-    db = chain_database(depth)
-    legacy, planned, legacy_s, planned_s = run_both(program, db)
-    assert_equivalent_but_cheaper(legacy, planned, "anc")
+def report_and_gate(title, depth, legacy, row, batch, legacy_s, row_s,
+                    batch_s):
+    speedup = row_s / batch_s if batch_s > 0 else float("inf")
     print_table(
-        f"join planning: ancestor on chain {depth}",
+        title,
         ["path", "facts", "tuples_scanned", "join_probes", "seconds"],
         [
             ["legacy", legacy.stats.facts_derived,
              legacy.stats.tuples_scanned, legacy.stats.join_probes,
              f"{legacy_s:.3f}"],
-            ["planner", planned.stats.facts_derived,
-             planned.stats.tuples_scanned, planned.stats.join_probes,
-             f"{planned_s:.3f}"],
+            ["row-compiled", row.stats.facts_derived,
+             row.stats.tuples_scanned, row.stats.join_probes,
+             f"{row_s:.3f}"],
+            ["batch", batch.stats.facts_derived,
+             batch.stats.tuples_scanned, batch.stats.join_probes,
+             f"{batch_s:.3f}"],
+            ["batch vs row", "", "", "", f"{speedup:.1f}x"],
         ],
+    )
+    record_bench({
+        "workload": title,
+        "depth": depth,
+        "legacy_s": legacy_s,
+        "row_compiled_s": row_s,
+        "batch_s": batch_s,
+        "batch_vs_row_speedup": speedup,
+        "facts": batch.stats.facts_derived,
+    })
+    if depth >= 100 and TIMING_STRICT:
+        assert speedup >= MIN_BATCH_SPEEDUP, (
+            f"batch execution only {speedup:.1f}x faster than the "
+            f"row-compiled path at depth {depth} "
+            f"(need >= {MIN_BATCH_SPEEDUP}x)"
+        )
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_ancestor_chain_planning(benchmark, depth):
+    """Linear ancestor on a chain: the legacy path rescans ``par`` fully
+    every round; the delta-first plan probes it through the index; the
+    batch path pushes whole delta columns through those probes."""
+    program = ancestor_program()
+    db = chain_database(depth)
+    legacy, row, batch, legacy_s, row_s, batch_s = run_three(program, db)
+    assert_equivalent_but_cheaper(legacy, row, batch, "anc")
+    report_and_gate(
+        f"join execution: ancestor on chain {depth}", depth,
+        legacy, row, batch, legacy_s, row_s, batch_s,
     )
     benchmark(lambda: evaluate_seminaive(program, db))
 
@@ -72,19 +137,11 @@ def test_samegen_layers_planning(benchmark, layers):
     """Nonlinear same-generation on layered data at depth >= 100."""
     program = nonlinear_samegen_program()
     db = samegen_database(layers=layers, width=3, flat_edges=2)
-    legacy, planned, legacy_s, planned_s = run_both(program, db)
-    assert_equivalent_but_cheaper(legacy, planned, "sg")
-    print_table(
-        f"join planning: same-generation, {layers} layers",
-        ["path", "facts", "tuples_scanned", "join_probes", "seconds"],
-        [
-            ["legacy", legacy.stats.facts_derived,
-             legacy.stats.tuples_scanned, legacy.stats.join_probes,
-             f"{legacy_s:.3f}"],
-            ["planner", planned.stats.facts_derived,
-             planned.stats.tuples_scanned, planned.stats.join_probes,
-             f"{planned_s:.3f}"],
-        ],
+    legacy, row, batch, legacy_s, row_s, batch_s = run_three(program, db)
+    assert_equivalent_but_cheaper(legacy, row, batch, "sg")
+    report_and_gate(
+        f"join execution: same-generation, {layers} layers", layers,
+        legacy, row, batch, legacy_s, row_s, batch_s,
     )
     benchmark(lambda: evaluate_seminaive(program, db))
 
@@ -94,16 +151,17 @@ def test_naive_also_benefits(benchmark):
 
     With no delta to reorder around, the ancestor plan's join order
     matches the legacy left-to-right order, so ``tuples_scanned`` ties;
-    the win here is the slot frames (no per-row dict copies), which
-    shows up in the timed run only.
+    the win here is the slot frames and ID columns (no per-row dict
+    copies), which shows up in the timed run only.
     """
     from repro import evaluate_naive
 
     program = ancestor_program()
     db = chain_database(60)
     legacy = evaluate_naive(program, db, use_planner=False)
-    planned = evaluate_naive(program, db, use_planner=True)
-    assert planned.derived_tuples("anc") == legacy.derived_tuples("anc")
-    assert planned.stats.facts_derived == legacy.stats.facts_derived
-    assert planned.stats.tuples_scanned <= legacy.stats.tuples_scanned
+    for vectorized in (False, True):
+        planned = evaluate_naive(program, db, vectorized=vectorized)
+        assert planned.derived_tuples("anc") == legacy.derived_tuples("anc")
+        assert planned.stats.facts_derived == legacy.stats.facts_derived
+        assert planned.stats.tuples_scanned <= legacy.stats.tuples_scanned
     benchmark(lambda: evaluate_naive(program, db))

@@ -4,7 +4,8 @@ The package has three layers:
 
 * :mod:`repro.datalog` -- a from-scratch deductive-database substrate:
   terms (with function symbols), Horn-clause AST, parser, unification,
-  indexed fact storage, naive/semi-naive bottom-up evaluation, and a
+  columnar indexed fact storage over interned term IDs, naive/semi-naive
+  bottom-up evaluation with batch-vectorized compiled joins, and a
   QSQ-style top-down evaluator;
 * :mod:`repro.core` -- the paper's contribution: sideways information
   passing strategies (Section 2), the adorned program (Section 3), the
@@ -66,6 +67,7 @@ from .datalog import (
     StratificationError,
     Struct,
     Term,
+    TermCatalog,
     UnsafeNegationError,
     UnsupportedProgramError,
     Variable,
@@ -90,6 +92,7 @@ from .datalog import (
     parse_rule,
     parse_term,
     qsq_evaluate,
+    term_catalog,
 )
 from .core import (
     AdornedProgram,
@@ -137,7 +140,7 @@ __all__ = [
     # substrate
     "Constant", "Variable", "Struct", "LinExpr", "Term",
     "Literal", "Rule", "Program", "Query",
-    "Database", "Relation",
+    "Database", "Relation", "TermCatalog", "term_catalog",
     "parse_program", "parse_rule", "parse_literal", "parse_term",
     "parse_query", "make_list", "list_elements",
     "evaluate", "evaluate_naive", "evaluate_seminaive", "answer_tuples",

@@ -7,6 +7,7 @@ these data structures, evaluated by this engine.
 """
 
 from .ast import Literal, Program, Query, Rule
+from .catalog import TermCatalog, term_catalog
 from .database import Database, Relation
 from .engine import (
     EvaluationResult,
@@ -73,6 +74,8 @@ __all__ = [
     "Rule",
     "Database",
     "Relation",
+    "TermCatalog",
+    "term_catalog",
     "EvaluationResult",
     "EvaluationStats",
     "answer_tuples",

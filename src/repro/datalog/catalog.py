@@ -1,0 +1,102 @@
+"""Interning of ground terms into dense integer IDs.
+
+The columnar storage layer (:mod:`repro.datalog.database`) does not
+store :class:`~repro.datalog.terms.Term` objects in its relations.  It
+stores *term IDs*: small integers handed out by a process-wide
+:class:`TermCatalog`.  Interning a ground term hashes it exactly once
+for its whole lifetime; afterwards every insert, probe, and join over
+that term is integer arithmetic on ``array('q')`` columns instead of
+re-hashing a tuple of Python objects per touch.
+
+The catalog is append-only and process-wide: IDs are dense (0, 1, 2,
+...), never reused, and identical terms always intern to the same ID,
+so equality of ground rows is equality of their int tuples and a hash
+index keyed by ints is exactly as selective as one keyed by terms.
+``resolve`` returns the canonical stored term object, so resolving is a
+list indexing operation and resolved rows share structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from .terms import Term
+
+__all__ = ["TermCatalog", "term_catalog"]
+
+
+class TermCatalog:
+    """A bidirectional, append-only mapping ground ``Term`` <-> int ID."""
+
+    __slots__ = ("_ids", "_terms")
+
+    def __init__(self) -> None:
+        self._ids: Dict[Term, int] = {}
+        self._terms: List[Term] = []
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def intern(self, term: Term) -> int:
+        """Return the ID for ``term``, assigning a fresh one if needed.
+
+        Only ground terms may be interned: IDs stand for database
+        values, and a variable is not a value.
+        """
+        term_id = self._ids.get(term)
+        if term_id is None:
+            if not term.is_ground():
+                raise ValueError(f"cannot intern non-ground term {term}")
+            term_id = len(self._terms)
+            self._ids[term] = term_id
+            self._terms.append(term)
+        return term_id
+
+    def id_of(self, term: Term) -> int:
+        """The ID of an already-interned term, or ``-1`` if never seen.
+
+        Unlike :meth:`intern` this never allocates: it is the read-only
+        probe used by lookups, where an unknown term simply cannot match
+        any stored row.
+        """
+        return self._ids.get(term, -1)
+
+    def resolve(self, term_id: int) -> Term:
+        """The canonical term for an ID (list indexing; shares structure)."""
+        return self._terms[term_id]
+
+    def intern_row(self, row: Iterable[Term]) -> Tuple[int, ...]:
+        """Bulk :meth:`intern` over one tuple of terms."""
+        ids = self._ids
+        terms = self._terms
+        out = []
+        for term in row:
+            term_id = ids.get(term)
+            if term_id is None:
+                if not term.is_ground():
+                    raise ValueError(f"cannot intern non-ground term {term}")
+                term_id = len(terms)
+                ids[term] = term_id
+                terms.append(term)
+            out.append(term_id)
+        return tuple(out)
+
+    def resolve_row(self, ids: Iterable[int]) -> Tuple[Term, ...]:
+        """Bulk :meth:`resolve` over one tuple of IDs."""
+        terms = self._terms
+        return tuple(terms[i] for i in ids)
+
+    def __repr__(self) -> str:
+        return f"TermCatalog({len(self._terms)} terms)"
+
+
+#: The process-wide catalog all relations share.  A single catalog keeps
+#: IDs comparable across databases, sessions, plan caches, and copies --
+#: which is what lets Database.copy() duplicate raw int columns without
+#: ever touching a Term.
+_CATALOG = TermCatalog()
+
+
+def term_catalog() -> TermCatalog:
+    """The process-wide :class:`TermCatalog` singleton."""
+    return _CATALOG

@@ -1,15 +1,40 @@
-"""Extensional/intensional fact storage: indexed relations.
+"""Extensional/intensional fact storage: columnar, ID-interned relations.
 
-A :class:`Relation` stores ground tuples (tuples of ground
-:class:`~repro.datalog.terms.Term`) and lazily builds hash indexes keyed
-by subsets of argument positions.  The bottom-up engine asks for the
-tuples matching the constants in the currently bound positions of a body
-literal, which the index answers in O(1) expected time -- this is what
-makes the magic-restricted joins cheap, mirroring the selection pushing
-the paper's transformations are designed to enable.
+Columnar layout
+---------------
 
-A :class:`Database` is a mapping from predicate keys (see
-:attr:`Literal.pred_key`) to relations.
+A :class:`Relation` no longer stores Python tuples of
+:class:`~repro.datalog.terms.Term`.  Ground terms are interned once into
+dense integer IDs by the process-wide
+:class:`~repro.datalog.catalog.TermCatalog`, and a relation is stored
+column-oriented: one ``array('q')`` of term IDs per argument position,
+indexed by *row slot*.  Alongside the columns live
+
+* ``_rowmap`` -- dict mapping each live ID-row (tuple of ints) to its
+  slot; this is the dedup set, the membership test, and the anti-join
+  probe in one structure;
+* ``_live`` -- a bytearray of liveness flags (retraction tombstones a
+  slot in O(1) instead of splicing every index bucket);
+* hash indexes -- ``dict[int-key, array('q') of slots]`` keyed by the
+  projection of the ID-row on a sorted tuple of positions (a bare int,
+  not a 1-tuple, for single-position indexes).  Buckets are pruned of
+  tombstoned slots lazily at probe time, and the whole relation is
+  compacted when dead slots outnumber live ones, so retraction stays
+  O(1) expected.
+
+The row-view boundary
+---------------------
+
+The row-level API (``__iter__``, ``__contains__``, :meth:`Relation.lookup`,
+``add``/``add_many``/``discard``/...) is preserved exactly as a *view*:
+terms are interned on the way in and IDs resolved back to canonical
+``Term`` objects on the way out (memoized per slot), so no caller
+outside the planner has to change.  The batch-vectorized join executor
+(:mod:`repro.datalog.planner`) bypasses the view and works on ID
+batches directly via ``lookup_ids``/``add_id_row``/``id_rows``;
+evaluation results are resolved back to terms only when answers are
+materialized (``answer_tuples``, ``QSQResult.query_answers``, session
+answer sets, derivation/provenance reconstruction).
 
 Versioning
 ----------
@@ -19,55 +44,117 @@ is bumped exactly when the stored tuple set actually changes (a new
 tuple inserted, an existing tuple retracted); no-op mutations -- adding
 a duplicate, retracting an absent tuple -- leave it untouched.  A
 database's :attr:`Database.version` is the sum of its relations'
-counters, so *any* mutation path (the ``Database`` convenience methods
-as well as direct ``database.relation(key).add(...)`` calls) advances
-it.  The counter is what makes cross-evaluation answer memoization
+counters, maintained as an O(1) cached counter: relations created by a
+:class:`Database` carry an owner backreference and bump the database
+counter in the same mutation, so *any* mutation path (the ``Database``
+convenience methods as well as direct ``database.relation(key).add(...)``
+calls) advances it without re-summing all relations per check.  The
+counter is what makes cross-evaluation answer memoization
 (:mod:`repro.session`) cheap: a memoized answer is valid exactly while
 the version it was computed at is still current.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from array import array
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from .ast import Literal
+from .catalog import term_catalog
 from .terms import Constant, Term
 
-__all__ = ["Relation", "Database", "FactTuple"]
+__all__ = ["Relation", "Database", "FactTuple", "IdTuple"]
 
 FactTuple = Tuple[Term, ...]
+IdTuple = Tuple[int, ...]
+
+#: Index key: a bare term ID for single-position indexes, an ID tuple
+#: otherwise.
+IndexKey = Union[int, IdTuple]
+
+_CATALOG = term_catalog()
+
+_EMPTY_SLOTS: Tuple[int, ...] = ()
+
+#: Compact only when the dead-slot count both dominates the live count
+#: and is large enough to amortize the rebuild.
+_COMPACT_MIN_DEAD = 16
 
 
 class Relation:
-    """A set of ground tuples with lazy hash indexes.
+    """A set of ground tuples stored as ID columns with hash indexes.
 
     Indexes are keyed by a sorted tuple of positions; each maps the
-    projection of a tuple on those positions to the list of tuples with
-    that projection.
+    ID projection of a row on those positions to an ``array('q')`` of
+    row slots with that projection.
 
     :attr:`version` counts the mutations that changed the tuple set
     (inserts of new tuples, retractions of present ones); it is monotone
-    and feeds :attr:`Database.version`.
+    and feeds :attr:`Database.version` through the ``owner``
+    backreference.
     """
 
-    __slots__ = ("name", "arity", "version", "_tuples", "_indexes")
+    __slots__ = (
+        "name",
+        "arity",
+        "version",
+        "owner",
+        "_columns",
+        "_rowmap",
+        "_live",
+        "_dead",
+        "_term_rows",
+        "_indexes",
+    )
 
     def __init__(self, name: str, arity: Optional[int] = None):
         self.name = name
         self.arity = arity
         self.version = 0
-        self._tuples: Set[FactTuple] = set()
-        self._indexes: Dict[Tuple[int, ...], Dict[FactTuple, List[FactTuple]]] = {}
+        self.owner: Optional["Database"] = None
+        self._columns: Optional[List[array]] = (
+            None if arity is None else [array("q") for _ in range(arity)]
+        )
+        self._rowmap: Dict[IdTuple, int] = {}
+        self._live = bytearray()
+        self._dead = 0
+        self._term_rows: List[Optional[FactTuple]] = []
+        self._indexes: Dict[Tuple[int, ...], Dict[IndexKey, array]] = {}
 
     def __len__(self) -> int:
-        return len(self._tuples)
+        return len(self._rowmap)
 
     def __iter__(self) -> Iterator[FactTuple]:
-        return iter(self._tuples)
+        term_row = self.term_row
+        return iter([term_row(slot) for slot in self._rowmap.values()])
 
     def __contains__(self, row: FactTuple) -> bool:
-        return tuple(row) in self._tuples
+        id_of = _CATALOG.id_of
+        ids = tuple(id_of(term) for term in row)
+        return -1 not in ids and ids in self._rowmap
 
+    # ------------------------------------------------------------------
+    # version bookkeeping
+    # ------------------------------------------------------------------
+    def _bump(self, count: int) -> None:
+        self.version += count
+        owner = self.owner
+        if owner is not None:
+            owner._version += count
+
+    # ------------------------------------------------------------------
+    # insertion (term-level view)
+    # ------------------------------------------------------------------
     def add(self, row: Iterable[Term]) -> bool:
         """Insert a tuple; returns True when it was new."""
         row = tuple(row)
@@ -78,34 +165,29 @@ class Relation:
                 f"relation {self.name}: arity mismatch, expected "
                 f"{self.arity}, got tuple of length {len(row)}"
             )
-        for term in row:
-            if not term.is_ground():
-                raise ValueError(
-                    f"relation {self.name}: tuple {row} is not ground"
-                )
-        if row in self._tuples:
-            return False
-        self._tuples.add(row)
-        self.version += 1
-        for positions, index in self._indexes.items():
-            key = tuple(row[i] for i in positions)
-            index.setdefault(key, []).append(row)
-        return True
+        try:
+            idrow = _CATALOG.intern_row(row)
+        except ValueError:
+            raise ValueError(
+                f"relation {self.name}: tuple {row} is not ground"
+            ) from None
+        return self._insert(idrow, row)
 
     def add_many(self, rows: Iterable[Iterable[Term]]) -> int:
         """Insert many tuples; returns the number that were new.
 
-        Bulk fast path: rows are validated up front (so a bad row leaves
-        the relation untouched, unlike repeated :meth:`add` calls which
-        keep the prefix), deduplicated with one set difference, and each
-        registered index is brought up to date in a single batch pass --
-        instead of paying the per-row call and per-row index upkeep of
-        repeated :meth:`add`.
+        Bulk fast path: rows are validated and interned up front (so a
+        bad row leaves the relation untouched, unlike repeated
+        :meth:`add` calls which keep the prefix), deduplicated against
+        ``_rowmap``, and each registered index is brought up to date in
+        a single batch pass over the fresh slots.
         """
-        normalized: List[FactTuple] = []
-        append = normalized.append
         arity = self.arity
-        constant = Constant
+        intern_row = _CATALOG.intern_row
+        idrows: List[IdTuple] = []
+        term_rows: List[FactTuple] = []
+        append_id = idrows.append
+        append_term = term_rows.append
         for row in rows:
             row = tuple(row)
             if len(row) != arity:
@@ -116,42 +198,246 @@ class Relation:
                         f"relation {self.name}: arity mismatch, expected "
                         f"{arity}, got tuple of length {len(row)}"
                     )
-            for term in row:
-                # constants are ground by construction; only composite
-                # terms need the recursive check
-                if type(term) is not constant and not term.is_ground():
-                    raise ValueError(
-                        f"relation {self.name}: tuple {row} is not ground"
-                    )
-            append(row)
-        if not normalized:
+            try:
+                append_id(intern_row(row))
+            except ValueError:
+                raise ValueError(
+                    f"relation {self.name}: tuple {row} is not ground"
+                ) from None
+            append_term(row)
+        if not idrows:
             return 0
         self.arity = arity
-        tuples = self._tuples
-        fresh = set(normalized) - tuples
-        if not fresh:
+        columns = self._columns
+        if columns is None:
+            columns = self._columns = [array("q") for _ in range(arity)]
+        rowmap = self._rowmap
+        live = self._live
+        base = len(live)
+        fresh_ids: List[IdTuple] = []
+        fresh_terms: List[FactTuple] = []
+        for idrow, row in zip(idrows, term_rows):
+            if idrow in rowmap:
+                continue
+            # claiming the rowmap slot immediately also dedups within
+            # the batch itself
+            rowmap[idrow] = base + len(fresh_ids)
+            fresh_ids.append(idrow)
+            fresh_terms.append(row)
+        n_fresh = len(fresh_ids)
+        if not n_fresh:
             return 0
-        tuples |= fresh
-        self.version += len(fresh)
+        for p, column in enumerate(columns):
+            column.extend([idrow[p] for idrow in fresh_ids])
+        live.extend(b"\x01" * n_fresh)
+        self._term_rows.extend(fresh_terms)
+        self._bump(n_fresh)
         for positions, index in self._indexes.items():
-            setdefault = index.setdefault
-            # specialized key construction: the generator-expression
-            # tuple build dominates index upkeep, and nearly all
-            # registered indexes cover one or two positions
+            # specialized key construction: nearly all registered
+            # indexes cover one or two positions
             if len(positions) == 1:
-                p0, = positions
-                for row in fresh:
-                    setdefault((row[p0],), []).append(row)
+                (p0,) = positions
+                for offset, idrow in enumerate(fresh_ids):
+                    key: IndexKey = idrow[p0]
+                    bucket = index.get(key)
+                    if bucket is None:
+                        index[key] = array("q", (base + offset,))
+                    else:
+                        bucket.append(base + offset)
             elif len(positions) == 2:
                 p0, p1 = positions
-                for row in fresh:
-                    setdefault((row[p0], row[p1]), []).append(row)
+                for offset, idrow in enumerate(fresh_ids):
+                    key = (idrow[p0], idrow[p1])
+                    bucket = index.get(key)
+                    if bucket is None:
+                        index[key] = array("q", (base + offset,))
+                    else:
+                        bucket.append(base + offset)
             else:
-                for row in fresh:
-                    key = tuple(row[i] for i in positions)
-                    setdefault(key, []).append(row)
-        return len(fresh)
+                for offset, idrow in enumerate(fresh_ids):
+                    key = tuple(idrow[i] for i in positions)
+                    bucket = index.get(key)
+                    if bucket is None:
+                        index[key] = array("q", (base + offset,))
+                    else:
+                        bucket.append(base + offset)
+        return n_fresh
 
+    # ------------------------------------------------------------------
+    # insertion / probing (ID-level, used by the batch executor)
+    # ------------------------------------------------------------------
+    def add_id_row(self, idrow: IdTuple) -> bool:
+        """Insert an already-interned ID row; returns True when new."""
+        if self.arity is None:
+            self.arity = len(idrow)
+        elif len(idrow) != self.arity:
+            raise ValueError(
+                f"relation {self.name}: arity mismatch, expected "
+                f"{self.arity}, got tuple of length {len(idrow)}"
+            )
+        return self._insert(idrow, None)
+
+    def add_id_rows(self, idrows: Iterable[IdTuple]) -> List[IdTuple]:
+        """Bulk :meth:`add_id_row`; returns the rows that were new.
+
+        The batch engine's insert path: duplicates cost one ``_rowmap``
+        membership check, fresh rows are appended to the columns in one
+        pass, and each registered index is brought up to date in a
+        single batch pass over the fresh slots.
+        """
+        arity = self.arity
+        rowmap = self._rowmap
+        live = self._live
+        base = len(live)
+        fresh_rows: List[IdTuple] = []
+        for idrow in idrows:
+            if idrow in rowmap:
+                continue
+            if len(idrow) != arity:
+                if arity is None:
+                    arity = self.arity = len(idrow)
+                    self._columns = [array("q") for _ in range(arity)]
+                else:
+                    raise ValueError(
+                        f"relation {self.name}: arity mismatch, expected "
+                        f"{arity}, got tuple of length {len(idrow)}"
+                    )
+            # claiming the rowmap slot immediately also dedups within
+            # the batch itself
+            rowmap[idrow] = base + len(fresh_rows)
+            fresh_rows.append(idrow)
+        n_fresh = len(fresh_rows)
+        if not n_fresh:
+            return fresh_rows
+        columns = self._columns
+        if columns is None:
+            columns = self._columns = [array("q") for _ in range(arity)]
+        for p, column in enumerate(columns):
+            column.extend([row[p] for row in fresh_rows])
+        live.extend(b"\x01" * n_fresh)
+        self._term_rows.extend([None] * n_fresh)
+        self._bump(n_fresh)
+        for positions, index in self._indexes.items():
+            if len(positions) == 1:
+                (p0,) = positions
+                for offset, idrow in enumerate(fresh_rows):
+                    key = idrow[p0]
+                    bucket = index.get(key)
+                    if bucket is None:
+                        index[key] = array("q", (base + offset,))
+                    else:
+                        bucket.append(base + offset)
+            else:
+                for offset, idrow in enumerate(fresh_rows):
+                    key = tuple(idrow[i] for i in positions)
+                    bucket = index.get(key)
+                    if bucket is None:
+                        index[key] = array("q", (base + offset,))
+                    else:
+                        bucket.append(base + offset)
+        return fresh_rows
+
+    def _insert(self, idrow: IdTuple, term_row: Optional[FactTuple]) -> bool:
+        rowmap = self._rowmap
+        if idrow in rowmap:
+            return False
+        columns = self._columns
+        if columns is None:
+            columns = self._columns = [array("q") for _ in range(len(idrow))]
+        live = self._live
+        slot = len(live)
+        rowmap[idrow] = slot
+        for column, value in zip(columns, idrow):
+            column.append(value)
+        live.append(1)
+        self._term_rows.append(term_row)
+        self._bump(1)
+        for positions, index in self._indexes.items():
+            if len(positions) == 1:
+                key: IndexKey = idrow[positions[0]]
+            elif len(positions) == 2:
+                key = (idrow[positions[0]], idrow[positions[1]])
+            else:
+                key = tuple(idrow[i] for i in positions)
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = array("q", (slot,))
+            else:
+                bucket.append(slot)
+        return True
+
+    def id_rows(self) -> Iterable[IdTuple]:
+        """The live ID rows (insertion order)."""
+        return self._rowmap.keys()
+
+    def has_id_row(self, idrow: IdTuple) -> bool:
+        return idrow in self._rowmap
+
+    def all_slots(self) -> List[int]:
+        """The live slots (insertion order)."""
+        return list(self._rowmap.values())
+
+    def term_row(self, slot: int) -> FactTuple:
+        """Resolve a slot back to its tuple of terms (memoized)."""
+        term_rows = self._term_rows
+        row = term_rows[slot]
+        if row is None:
+            resolve = _CATALOG.resolve
+            row = tuple(resolve(column[slot]) for column in self._columns)
+            term_rows[slot] = row
+        return row
+
+    def lookup_ids(
+        self, positions: Tuple[int, ...], key: IndexKey
+    ) -> Sequence[int]:
+        """Slots of rows whose ID projection on ``positions`` is ``key``.
+
+        ``positions`` must already be normalized (sorted, unique);
+        ``key`` is a bare int for a single position, an ID tuple
+        otherwise.  Tombstoned slots are pruned from the probed bucket
+        in place, so a bucket is paid for at most once per retraction.
+        """
+        if not positions:
+            return self.all_slots()
+        index = self._indexes.get(positions)
+        if index is None:
+            index = self._build_index(positions)
+        bucket = index.get(key)
+        if bucket is None:
+            return _EMPTY_SLOTS
+        if not self._dead:
+            return bucket
+        live = self._live
+        pruned = [slot for slot in bucket if live[slot]]
+        if len(pruned) != len(bucket):
+            if pruned:
+                index[key] = array("q", pruned)
+            else:
+                del index[key]
+        return pruned
+
+    def probe_index(
+        self, positions: Tuple[int, ...]
+    ) -> Optional[Dict[IndexKey, array]]:
+        """The raw key->slots dict for ``positions``, when exact.
+
+        The batch executor's bulk-probe fast path: when no slot is
+        tombstoned every bucket is exact, so the executor can hash keys
+        straight into the dict without a :meth:`lookup_ids` call per
+        distinct key.  Returns None for empty positions or while
+        tombstones exist (callers then fall back to :meth:`lookup_ids`,
+        which prunes lazily).
+        """
+        if not positions or self._dead:
+            return None
+        index = self._indexes.get(positions)
+        if index is None:
+            index = self._build_index(positions)
+        return index
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
     def register_index(self, positions: Tuple[int, ...]) -> None:
         """Build (or reuse) the hash index on ``positions`` eagerly.
 
@@ -180,14 +466,31 @@ class Relation:
 
     def _build_index(
         self, positions: Tuple[int, ...]
-    ) -> Dict[FactTuple, List[FactTuple]]:
-        index: Dict[FactTuple, List[FactTuple]] = {}
-        for row in self._tuples:
-            row_key = tuple(row[i] for i in positions)
-            index.setdefault(row_key, []).append(row)
+    ) -> Dict[IndexKey, array]:
+        index: Dict[IndexKey, array] = {}
+        if len(positions) == 1:
+            (p0,) = positions
+            for idrow, slot in self._rowmap.items():
+                key: IndexKey = idrow[p0]
+                bucket = index.get(key)
+                if bucket is None:
+                    index[key] = array("q", (slot,))
+                else:
+                    bucket.append(slot)
+        else:
+            for idrow, slot in self._rowmap.items():
+                key = tuple(idrow[i] for i in positions)
+                bucket = index.get(key)
+                if bucket is None:
+                    index[key] = array("q", (slot,))
+                else:
+                    bucket.append(slot)
         self._indexes[positions] = index
         return index
 
+    # ------------------------------------------------------------------
+    # term-level lookup (row view)
+    # ------------------------------------------------------------------
     def lookup(
         self, positions: Tuple[int, ...], key: FactTuple
     ) -> List[FactTuple]:
@@ -200,8 +503,9 @@ class Relation:
         inconsistent shadow index.
         """
         positions = self._normalize_positions(positions)
+        term_row = self.term_row
         if not positions:
-            return list(self._tuples)
+            return [term_row(slot) for slot in self._rowmap.values()]
         key = tuple(key)
         if len(key) != len(positions):
             raise ValueError(
@@ -225,45 +529,98 @@ class Relation:
                 sorted_key.append(value)
             positions = tuple(sorted_positions)
             key = tuple(sorted_key)
-        index = self._indexes.get(positions)
-        if index is None:
-            index = self._build_index(positions)
-        return index.get(key, [])
+        id_of = _CATALOG.id_of
+        ids = tuple(id_of(term) for term in key)
+        if -1 in ids:
+            return []  # a never-interned term cannot match any row
+        id_key: IndexKey = ids[0] if len(ids) == 1 else ids
+        return [term_row(slot) for slot in self.lookup_ids(positions, id_key)]
 
+    # ------------------------------------------------------------------
+    # retraction
+    # ------------------------------------------------------------------
     def discard(self, row: Iterable[Term]) -> bool:
         """Retract a tuple; returns True when it was present.
 
-        Registered indexes are kept consistent: the row is removed from
-        every index bucket it projects into, and emptied buckets are
-        dropped so absent keys keep answering with the shared empty
-        list.
+        O(1) expected: the slot is tombstoned (``_live`` flag cleared)
+        rather than spliced out of every index bucket; buckets shed dead
+        slots lazily at probe time, and the relation compacts itself
+        when dead slots outnumber live ones.
         """
-        row = tuple(row)
-        if row not in self._tuples:
+        id_of = _CATALOG.id_of
+        idrow = tuple(id_of(term) for term in row)
+        if -1 in idrow:
             return False
-        self._tuples.discard(row)
-        self.version += 1
-        for positions, index in self._indexes.items():
-            key = tuple(row[i] for i in positions)
-            bucket = index.get(key)
-            if bucket is None:
-                continue
-            try:
-                bucket.remove(row)
-            except ValueError:
-                pass
-            if not bucket:
-                del index[key]
+        return self._discard_id_row(idrow)
+
+    def _discard_id_row(self, idrow: IdTuple) -> bool:
+        slot = self._rowmap.pop(idrow, None)
+        if slot is None:
+            return False
+        self._live[slot] = 0
+        self._term_rows[slot] = None
+        self._dead += 1
+        self._bump(1)
+        if (
+            self._dead >= _COMPACT_MIN_DEAD
+            and self._dead > len(self._rowmap)
+        ):
+            self._compact()
         return True
 
     def discard_many(self, rows: Iterable[Iterable[Term]]) -> int:
         """Retract many tuples; returns the number that were present."""
         return sum(1 for row in rows if self.discard(row))
 
+    def _compact(self) -> None:
+        """Drop tombstoned slots and rebuild columns and indexes."""
+        live = self._live
+        keep = [slot for slot in range(len(live)) if live[slot]]
+        remap = {old: new for new, old in enumerate(keep)}
+        columns = self._columns
+        if columns is not None:
+            self._columns = [
+                array("q", (column[slot] for slot in keep))
+                for column in columns
+            ]
+        term_rows = self._term_rows
+        self._term_rows = [term_rows[slot] for slot in keep]
+        self._live = bytearray(b"\x01" * len(keep))
+        self._rowmap = {
+            idrow: remap[slot] for idrow, slot in self._rowmap.items()
+        }
+        self._dead = 0
+        for positions in list(self._indexes):
+            self._build_index(positions)
+
+    # ------------------------------------------------------------------
+    # copying
+    # ------------------------------------------------------------------
     def copy(self) -> "Relation":
-        duplicate = Relation(self.name, self.arity)
-        duplicate._tuples = set(self._tuples)
+        """An independent copy.
+
+        Registered index positions *and* their buckets are carried over
+        (raw ``array`` copies -- no Term is touched), so consumers of
+        ``Database.copy()``/``seeded_database`` never pay lazy O(n)
+        index rebuilds mid-join.
+        """
+        duplicate = Relation.__new__(Relation)
+        duplicate.name = self.name
+        duplicate.arity = self.arity
         duplicate.version = self.version
+        duplicate.owner = None
+        columns = self._columns
+        duplicate._columns = (
+            None if columns is None else [column[:] for column in columns]
+        )
+        duplicate._rowmap = dict(self._rowmap)
+        duplicate._live = bytearray(self._live)
+        duplicate._dead = self._dead
+        duplicate._term_rows = list(self._term_rows)
+        duplicate._indexes = {
+            positions: {key: bucket[:] for key, bucket in index.items()}
+            for positions, index in self._indexes.items()
+        }
         return duplicate
 
     def __repr__(self):
@@ -273,10 +630,11 @@ class Relation:
 class Database:
     """A named collection of relations, keyed by predicate key."""
 
-    __slots__ = ("_relations",)
+    __slots__ = ("_relations", "_version")
 
     def __init__(self):
         self._relations: Dict[str, Relation] = {}
+        self._version = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -286,6 +644,7 @@ class Database:
         rel = self._relations.get(pred_key)
         if rel is None:
             rel = Relation(pred_key)
+            rel.owner = self
             self._relations[pred_key] = rel
         return rel
 
@@ -344,17 +703,18 @@ class Database:
     # ------------------------------------------------------------------
     @property
     def version(self) -> int:
-        """Monotone mutation counter over all relations.
+        """Monotone mutation counter over all relations, O(1).
 
-        The sum of the relations' counters: bumped by every mutation
-        that changes a stored tuple set, whichever path performed it
+        Equal to the sum of the relations' counters, but maintained
+        incrementally: every owned relation bumps this counter in the
+        same mutation that bumps its own, whichever path performed it
         (``Database`` methods or direct :class:`Relation` calls).
-        Relations are created but never removed, so the sum only grows;
-        no-op mutations (duplicate insert, absent retract) do not bump
-        it, which is exactly the invariant the answer memo in
+        Relations are created but never removed, so the counter only
+        grows; no-op mutations (duplicate insert, absent retract) do
+        not bump it, which is exactly the invariant the answer memo in
         :mod:`repro.session` relies on.
         """
-        return sum(rel.version for rel in self._relations.values())
+        return self._version
 
     def predicate_keys(self) -> Set[str]:
         return set(self._relations)
@@ -378,7 +738,10 @@ class Database:
     def copy(self) -> "Database":
         duplicate = Database()
         for key, rel in self._relations.items():
-            duplicate._relations[key] = rel.copy()
+            dup_rel = rel.copy()
+            dup_rel.owner = duplicate
+            duplicate._relations[key] = dup_rel
+        duplicate._version = self._version
         return duplicate
 
     def merged_with(self, other: "Database") -> "Database":

@@ -110,6 +110,13 @@ class EvaluationStats:
             self.facts_by_predicate.get(pred_key, 0) + 1
         )
 
+    def record_facts(self, pred_key: str, count: int) -> None:
+        """Bulk :meth:`record_fact` (the batch engine's accounting)."""
+        self.facts_derived += count
+        self.facts_by_predicate[pred_key] = (
+            self.facts_by_predicate.get(pred_key, 0) + count
+        )
+
 
 @dataclass
 class EvaluationResult:
@@ -355,12 +362,18 @@ def evaluate_naive(
     max_facts: Optional[int] = None,
     use_planner: bool = True,
     plan_cache: Optional[PlanCache] = None,
+    vectorized: bool = True,
 ) -> EvaluationResult:
     """Naive bottom-up fixpoint: all rules against all facts, each round.
 
     With negation, each stratum's rules run to their joint fixpoint
     before the next stratum starts (``stats.iterations`` accumulates
     rounds across strata).
+
+    ``vectorized`` (planner path only) selects batch execution over ID
+    columns (:meth:`JoinPlan.execute_batch`); pass False to run the
+    compiled plans row-at-a-time at the term level instead.  Both derive
+    identical fact sets and solution counters.
     """
     working = database.copy()
     stats = EvaluationStats()
@@ -368,6 +381,7 @@ def evaluate_naive(
     compiled: Optional[CompiledProgram] = None
     if use_planner:
         compiled = _compiled_for(program, working, stats, plan_cache)
+    batch = compiled is not None and vectorized
     for stratum in _evaluation_strata(program, compiled):
         changed = True
         while changed:
@@ -380,6 +394,18 @@ def evaluate_naive(
                 rule = program.rules[rule_index]
                 head_key = rule.head.pred_key
                 relation = working.relation(head_key)
+                if batch:
+                    rows = compiled.plan(rule_index).execute_batch(
+                        working, stats
+                    )
+                    if rows:
+                        fresh = relation.add_id_rows(rows)
+                        n_fresh = len(fresh)
+                        stats.duplicate_derivations += len(rows) - n_fresh
+                        if n_fresh:
+                            stats.record_facts(head_key, n_fresh)
+                            changed = True
+                    continue
                 if compiled is not None:
                     rows = compiled.plan(rule_index).execute(working, stats)
                 else:
@@ -393,6 +419,73 @@ def evaluate_naive(
             if max_facts is not None and stats.facts_derived > max_facts:
                 _check_budget(stats, stats.facts_derived, None, max_facts)
     return EvaluationResult(working, derived_keys, stats)
+
+
+class _IdDeltaBatch:
+    """A per-round delta of fresh ID rows, for the batch executor.
+
+    Duck-types the slice of the :class:`Relation` interface the batch
+    join steps touch (``__len__``, ``lookup_ids``, ``_columns``):
+    fresh rows are collected by plain list extension during a round and
+    the columns / probe index are built in one pass at the first probe
+    of the *next* round -- a delta is never probed and extended in the
+    same round, so nothing is maintained incrementally and the
+    per-row insert cost of a full :class:`Relation` disappears.
+    """
+
+    __slots__ = ("rows", "_cols", "_indexes")
+
+    def __init__(self) -> None:
+        self.rows: List[Tuple[int, ...]] = []
+        self._cols: Optional[List[List[int]]] = None
+        self._indexes: Dict[Tuple[int, ...], Dict[object, List[int]]] = {}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def extend(self, fresh: List[Tuple[int, ...]]) -> None:
+        self.rows.extend(fresh)
+        self._cols = None
+        self._indexes.clear()
+
+    @property
+    def _columns(self) -> List[List[int]]:
+        cols = self._cols
+        if cols is None:
+            rows = self.rows
+            cols = self._cols = [
+                [row[p] for row in rows] for p in range(len(rows[0]))
+            ]
+        return cols
+
+    def probe_index(
+        self, positions: Tuple[int, ...]
+    ) -> Optional[Dict[object, List[int]]]:
+        """The raw key->rows dict for ``positions`` (always exact:
+        deltas have no tombstones), or None for empty positions."""
+        if not positions:
+            return None
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            if len(positions) == 1:
+                (p0,) = positions
+                for slot, row in enumerate(self.rows):
+                    index.setdefault(row[p0], []).append(slot)
+            else:
+                for slot, row in enumerate(self.rows):
+                    index.setdefault(
+                        tuple(row[i] for i in positions), []
+                    ).append(slot)
+            self._indexes[positions] = index
+        return index
+
+    def lookup_ids(
+        self, positions: Tuple[int, ...], key: object
+    ) -> List[int]:
+        if not positions:
+            return list(range(len(self.rows)))
+        return self.probe_index(positions).get(key, [])
 
 
 def _new_delta_relation(
@@ -422,6 +515,7 @@ def evaluate_seminaive(
     max_facts: Optional[int] = None,
     use_planner: bool = True,
     plan_cache: Optional[PlanCache] = None,
+    vectorized: bool = True,
 ) -> EvaluationResult:
     """Semi-naive bottom-up fixpoint (differential evaluation).
 
@@ -429,6 +523,12 @@ def evaluate_seminaive(
     delta version of the rule matches that occurrence against the facts
     new in the previous round.  Rules whose body mentions no derived
     predicate fire once, in round one.
+
+    ``vectorized`` (planner path only) selects batch execution over ID
+    columns: rule solutions and the per-round deltas then travel as ID
+    rows end to end, and terms are only resolved back when answers are
+    materialized.  Pass False for the row-at-a-time compiled path; both
+    derive identical fact sets and solution counters.
     """
     working = database.copy()
     stats = EvaluationStats()
@@ -438,6 +538,7 @@ def evaluate_seminaive(
     if use_planner:
         compiled = _compiled_for(program, working, stats, plan_cache)
         delta_positions = compiled.delta_index_positions()
+    batch = compiled is not None and vectorized
 
     for stratum in _evaluation_strata(program, compiled):
         # round 1 of the stratum: all its rules against the current
@@ -453,6 +554,21 @@ def evaluate_seminaive(
             rule = program.rules[rule_index]
             head_key = rule.head.pred_key
             relation = working.relation(head_key)
+            if batch:
+                rows = compiled.plan(rule_index).execute_batch(
+                    working, stats
+                )
+                if rows:
+                    fresh = relation.add_id_rows(rows)
+                    n_fresh = len(fresh)
+                    stats.duplicate_derivations += len(rows) - n_fresh
+                    if n_fresh:
+                        stats.record_facts(head_key, n_fresh)
+                        delta_rel = deltas.get(head_key)
+                        if delta_rel is None:
+                            delta_rel = deltas[head_key] = _IdDeltaBatch()
+                        delta_rel.extend(fresh)
+                continue
             if compiled is not None:
                 rows = compiled.plan(rule_index).execute(working, stats)
             else:
@@ -491,6 +607,25 @@ def evaluate_seminaive(
                     if literal.pred_key not in derived_keys:
                         continue
                     delta_rel = deltas[literal.pred_key]
+                    if batch:
+                        rows = compiled.plan(
+                            rule_index, index
+                        ).execute_batch(working, stats, delta_rel)
+                        if rows:
+                            fresh = relation.add_id_rows(rows)
+                            n_fresh = len(fresh)
+                            stats.duplicate_derivations += (
+                                len(rows) - n_fresh
+                            )
+                            if n_fresh:
+                                stats.record_facts(head_key, n_fresh)
+                                new_rel = new_deltas.get(head_key)
+                                if new_rel is None:
+                                    new_rel = new_deltas[head_key] = (
+                                        _IdDeltaBatch()
+                                    )
+                                new_rel.extend(fresh)
+                        continue
                     if compiled is not None:
                         rows = compiled.plan(rule_index, index).execute(
                             working, stats, delta_rel
@@ -526,17 +661,18 @@ def evaluate(
     max_facts: Optional[int] = None,
     use_planner: bool = True,
     plan_cache: Optional[PlanCache] = None,
+    vectorized: bool = True,
 ) -> EvaluationResult:
     """Dispatch to a bottom-up strategy by name."""
     if method == "naive":
         return evaluate_naive(
             program, database, max_iterations, max_facts, use_planner,
-            plan_cache,
+            plan_cache, vectorized,
         )
     if method == "seminaive":
         return evaluate_seminaive(
             program, database, max_iterations, max_facts, use_planner,
-            plan_cache,
+            plan_cache, vectorized,
         )
     raise ValueError(f"unknown evaluation method {method!r}")
 

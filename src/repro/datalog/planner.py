@@ -53,11 +53,13 @@ Two further layers serve the top-down side and repeated evaluations:
 from __future__ import annotations
 
 from collections import OrderedDict
+from itertools import repeat as _repeat
 from typing import Dict, List, Optional, Set, Tuple
 
 from .analysis import stratify_rules
 from .ast import Program, Rule
-from .database import Database, FactTuple, Relation
+from .catalog import term_catalog
+from .database import Database, FactTuple, IdTuple, Relation
 from .errors import (
     EvaluationError,
     UnsafeNegationError,
@@ -96,6 +98,323 @@ _EQC = 7     # row: compare the row value against a ground term
 # (_EQC only arises in subquery plans: an adorned literal may carry a
 # constant at a position its adornment marks free, so the position is not
 # part of the answer-index key and must be checked per row.)
+_EQL = 8     # batch row: compare against a value stored earlier in the
+#              same step (the batch twin of a within-step _EQ)
+
+_CATALOG = term_catalog()
+
+
+# ----------------------------------------------------------------------
+# batch (ID-level) op compilation
+#
+# Every term-level op set compiles into a parallel ID-level op set used
+# by the batch executors: constants are interned once at compile time,
+# _STORE targets become indexes into a per-step local-value buffer (so a
+# step's output columns are built by list extension, not per-row frame
+# writes), and a liveness pass over the whole plan computes which slots
+# each step must carry into the next batch.
+# ----------------------------------------------------------------------
+
+def _batch_key_ops(key_ops):
+    converted = []
+    for tag, payload in key_ops:
+        if tag == _CONST:
+            converted.append((_CONST, _CATALOG.intern(payload)))
+        else:  # _SLOT / _EVAL keep their term-level payloads
+            converted.append((tag, payload))
+    return tuple(converted)
+
+
+def _batch_row_ops(row_ops):
+    """ID-level row ops plus the frame slots this step stores, in
+    local-buffer order.  Within-step references (a repeated variable or
+    a _MATCH seeded by a value bound earlier in the same literal) are
+    rewritten to read the local buffer (_EQL / local pairs) instead of a
+    batch column, which does not exist for them."""
+    store_slots: List[int] = []
+    local_of: Dict[int, int] = {}
+    converted = []
+    for pos, tag, payload in row_ops:
+        if tag == _STORE:
+            local = local_of[payload] = len(store_slots)
+            store_slots.append(payload)
+            converted.append((pos, _STORE, local))
+        elif tag == _EQ:
+            if payload in local_of:
+                converted.append((pos, _EQL, local_of[payload]))
+            else:
+                converted.append((pos, _EQ, payload))
+        elif tag == _EQC:
+            converted.append((pos, _EQC, _CATALOG.intern(payload)))
+        else:  # _MATCH
+            pattern, bound_pairs, free_pairs = payload
+            prior = tuple(
+                (v, s) for v, s in bound_pairs if s not in local_of
+            )
+            local = tuple(
+                (v, local_of[s]) for v, s in bound_pairs if s in local_of
+            )
+            frees = []
+            for v, s in free_pairs:
+                j = local_of[s] = len(store_slots)
+                store_slots.append(s)
+                frees.append((v, j))
+            converted.append(
+                (pos, _MATCH, (pattern, prior, local, tuple(frees)))
+            )
+    return tuple(converted), tuple(store_slots)
+
+
+def _batch_reads(b_key_ops, b_row_ops):
+    """Prior-batch slots a step's ops read."""
+    reads: Set[int] = set()
+    for tag, payload in b_key_ops:
+        if tag == _SLOT:
+            reads.add(payload)
+        elif tag == _EVAL:
+            reads.update(s for _, s in payload[1])
+    for _pos, tag, payload in b_row_ops:
+        if tag == _EQ:
+            reads.add(payload)
+        elif tag == _MATCH:
+            reads.update(s for _, s in payload[1])
+    return reads
+
+
+def _attach_batch_ops(steps, head_ops):
+    """Compile the ID-level twin of a plan's ops onto its steps.
+
+    Returns ``(b_head_ops, b_head_slots, entry_slots)``: ``b_head_slots``
+    is the all-slot fast-path tuple (columns zip straight into head
+    rows) or None when the head needs per-row work, and ``entry_slots``
+    are the slots that must be live *before* the first step (empty for
+    bottom-up plans, the entry-op-bound slots a subquery plan's input
+    vectors populate).  Sets, per step: ``b_key_ops`` / ``b_row_ops`` /
+    ``b_store_slots`` as above, plus the liveness-pruned batch layout --
+    ``b_carry_out`` (prior slots still needed downstream) and
+    ``b_store_out`` (``(local, slot)`` stores needed downstream).
+    """
+    b_head_ops = []
+    slots_only = True
+    needed: Set[int] = set()
+    for tag, payload in head_ops:
+        if tag == _CONST:
+            b_head_ops.append((_CONST, _CATALOG.intern(payload)))
+            slots_only = False
+        elif tag == _SLOT:
+            b_head_ops.append((_SLOT, payload))
+            needed.add(payload)
+        else:  # _EVAL / _UNBOUND keep their term-level payloads
+            if tag == _EVAL:
+                needed.update(s for _, s in payload[1])
+            b_head_ops.append((tag, payload))
+            slots_only = False
+    per_step_reads = []
+    for step in steps:
+        step.b_key_ops = _batch_key_ops(step.key_ops)
+        step.b_row_ops, step.b_store_slots = _batch_row_ops(step.row_ops)
+        per_step_reads.append(_batch_reads(step.b_key_ops, step.b_row_ops))
+    for step, reads in zip(reversed(steps), reversed(per_step_reads)):
+        stores = set(step.b_store_slots)
+        step.b_store_out = tuple(
+            (j, s) for j, s in enumerate(step.b_store_slots) if s in needed
+        )
+        step.b_carry_out = tuple(sorted(needed - stores))
+        needed = (needed - stores) | reads
+    head_slots = (
+        tuple(s for _tag, s in b_head_ops) if slots_only else None
+    )
+    return tuple(b_head_ops), head_slots, tuple(sorted(needed))
+
+
+def _batch_keys(b_key_ops, cols, n, as_tuple, evaluate):
+    """Per-frame lookup keys (bare IDs, or ID tuples when ``as_tuple``).
+
+    ``evaluate`` maps a resolved ``_EVAL`` term to an ID: the catalog's
+    ``id_of`` for probe-only keys (an unknown term gets -1, which
+    matches nothing), ``intern`` when the key outlives the probe (QSQ
+    keys double as subquery vectors).
+    """
+    resolve_id = _CATALOG.resolve
+    if len(b_key_ops) == 1 and not as_tuple:
+        tag, payload = b_key_ops[0]
+        if tag == _SLOT:
+            return cols[payload]
+        if tag == _CONST:
+            return [payload] * n
+        term, pairs = payload  # _EVAL
+        return [
+            evaluate(resolve(
+                term,
+                {v: resolve_id(cols[s][i]) for v, s in pairs},
+            ))
+            for i in range(n)
+        ]
+    keys = []
+    for i in range(n):
+        key = []
+        for tag, payload in b_key_ops:
+            if tag == _SLOT:
+                key.append(cols[payload][i])
+            elif tag == _CONST:
+                key.append(payload)
+            else:  # _EVAL
+                term, pairs = payload
+                key.append(evaluate(resolve(
+                    term,
+                    {v: resolve_id(cols[s][i]) for v, s in pairs},
+                )))
+        keys.append(tuple(key))
+    return keys
+
+
+def _scan_batch_step(relation, positions, keys, b_row_ops, n_stores,
+                     cols, n):
+    """Run one positive batch join step over ``n`` frames.
+
+    ``keys`` holds one lookup key per frame (None = full scan for every
+    frame).  Returns ``(sel, stores, probes, scanned)``: the surviving
+    frame indexes in batch order (one per matched row), the per-store
+    value columns aligned with ``sel``, and the probe / row-scan counts
+    for stats.
+
+    Each branch fuses grouping and probing: the first frame carrying a
+    key pays the index probe, every later frame with the same key reuses
+    the memoized result, and frames are emitted in batch order -- the
+    same solution multiset as per-frame probing, so the
+    solution-counting stats are unchanged.
+    """
+    resolve_id = _CATALOG.resolve
+    intern = _CATALOG.intern
+    index = relation.probe_index(positions) if positions else None
+    lookup_ids = relation.lookup_ids
+    row_cols = relation._columns
+    stores: List[List[int]] = [[] for _ in range(n_stores)]
+    sel: List[int] = []
+    probes = 0
+    scanned = 0
+    if keys is None:
+        # no bound positions: one full scan shared by all frames
+        keys = _repeat((), n)
+    if not b_row_ops:
+        # fully keyed step: each frame survives once per match
+        nrows_of: Dict[object, int] = {}
+        for i, key in enumerate(keys):
+            n_rows = nrows_of.get(key)
+            if n_rows is None:
+                if index is not None:
+                    rows = index.get(key, ())
+                else:
+                    rows = lookup_ids(positions, key)
+                probes += 1
+                n_rows = nrows_of[key] = len(rows)
+            if n_rows:
+                scanned += n_rows
+                sel.extend(_repeat(i, n_rows))
+    elif len(b_row_ops) == 1 and b_row_ops[0][1] == _STORE:
+        # the chain-step fast path (e.g. anc(X,Z) := delta probe on X,
+        # store Z): hoist the matched column per key
+        pos = b_row_ops[0][0]
+        row_col = row_cols[pos]
+        store = stores[0]
+        vals_of: Dict[object, List[int]] = {}
+        for i, key in enumerate(keys):
+            values = vals_of.get(key)
+            if values is None:
+                if index is not None:
+                    rows = index.get(key, ())
+                else:
+                    rows = lookup_ids(positions, key)
+                probes += 1
+                values = vals_of[key] = [row_col[r] for r in rows]
+            n_rows = len(values)
+            if n_rows == 1:  # chain joins: almost every bucket
+                scanned += 1
+                sel.append(i)
+                store.append(values[0])
+            elif n_rows:
+                scanned += n_rows
+                sel.extend(_repeat(i, n_rows))
+                store.extend(values)
+    elif all(tag == _STORE for _, tag, _ in b_row_ops):
+        # all-stores step (e.g. a delta scan binding every position):
+        # matched rows project straight into the store columns, one
+        # list comprehension per column
+        pairs = [
+            (row_cols[pos], stores[payload])
+            for pos, _, payload in b_row_ops
+        ]
+        cols_of: Dict[object, List[List[int]]] = {}
+        for i, key in enumerate(keys):
+            entry = cols_of.get(key)
+            if entry is None:
+                if index is not None:
+                    rows = index.get(key, ())
+                else:
+                    rows = lookup_ids(positions, key)
+                probes += 1
+                entry = cols_of[key] = [
+                    [col[r] for r in rows] for col, _ in pairs
+                ]
+            n_rows = len(entry[0])
+            if n_rows:
+                scanned += n_rows
+                sel.extend(_repeat(i, n_rows))
+                for (_, store), values in zip(pairs, entry):
+                    store.extend(values)
+    else:
+        local = [0] * n_stores
+        rows_of: Dict[object, object] = {}
+        for i, key in enumerate(keys):
+            rows = rows_of.get(key)
+            if rows is None:
+                if index is not None:
+                    rows = index.get(key, ())
+                else:
+                    rows = lookup_ids(positions, key)
+                rows_of[key] = rows
+                probes += 1
+            n_rows = len(rows)
+            if not n_rows:
+                continue
+            scanned += n_rows
+            for row in rows:
+                ok = True
+                for pos, tag, payload in b_row_ops:
+                    value = row_cols[pos][row]
+                    if tag == _STORE:
+                        local[payload] = value
+                    elif tag == _EQ:
+                        if cols[payload][i] != value:
+                            ok = False
+                            break
+                    elif tag == _EQL:
+                        if local[payload] != value:
+                            ok = False
+                            break
+                    elif tag == _EQC:
+                        if payload != value:
+                            ok = False
+                            break
+                    else:  # _MATCH
+                        pattern, prior, loc, frees = payload
+                        seed = {
+                            v: resolve_id(cols[s][i]) for v, s in prior
+                        }
+                        for v, j in loc:
+                            seed[v] = resolve_id(local[j])
+                        if not match_into(
+                            pattern, resolve_id(value), seed
+                        ):
+                            ok = False
+                            break
+                        for v, j in frees:
+                            local[j] = intern(seed[v])
+                if ok:
+                    sel.append(i)
+                    for j in range(n_stores):
+                        stores[j].append(local[j])
+    return sel, stores, probes, scanned
 
 
 def _key_ops_for(literal, slots, bound):
@@ -228,7 +547,9 @@ class JoinStep:
     """
 
     __slots__ = ("literal", "pred_key", "is_delta", "negated",
-                 "index_positions", "key_ops", "row_ops")
+                 "index_positions", "key_ops", "row_ops",
+                 "b_key_ops", "b_row_ops", "b_store_slots",
+                 "b_carry_out", "b_store_out")
 
     def __init__(self, literal, pred_key, is_delta, negated,
                  index_positions, key_ops, row_ops):
@@ -242,6 +563,12 @@ class JoinStep:
         self.index_positions = index_positions
         self.key_ops = key_ops
         self.row_ops = row_ops
+        # ID-level twins, filled in by _attach_batch_ops at plan build
+        self.b_key_ops = ()
+        self.b_row_ops = ()
+        self.b_store_slots = ()
+        self.b_carry_out = ()
+        self.b_store_out = ()
 
     def __repr__(self):
         flag = " delta" if self.is_delta else ""
@@ -257,7 +584,7 @@ class JoinPlan:
     """A compiled rule: ordered join steps plus head-emission ops."""
 
     __slots__ = ("rule", "delta_index", "order", "steps", "head_ops",
-                 "n_slots")
+                 "n_slots", "b_head_ops", "b_head_slots")
 
     def __init__(self, rule, delta_index, order, steps, head_ops, n_slots):
         self.rule = rule
@@ -268,6 +595,9 @@ class JoinPlan:
         self.steps = steps
         self.head_ops = head_ops
         self.n_slots = n_slots
+        self.b_head_ops, self.b_head_slots, _ = _attach_batch_ops(
+            steps, head_ops
+        )
 
     # ------------------------------------------------------------------
     # execution
@@ -395,6 +725,119 @@ class JoinPlan:
                     run(next_depth)
 
         run(0)
+        return produced
+
+    # ------------------------------------------------------------------
+    # batch execution
+    # ------------------------------------------------------------------
+    def execute_batch(
+        self,
+        database: Database,
+        stats,
+        delta_relation: Optional[Relation] = None,
+    ) -> List[IdTuple]:
+        """All head instances derivable from this plan, as ID rows.
+
+        The batch-vectorized twin of :meth:`execute`: partial matches
+        travel as parallel columns of term IDs (one list per live frame
+        slot), and each step probes its relation's int-ID index once per
+        *distinct* key in the batch instead of once per frame, emitting
+        the next batch.  Solution multiplicities -- and therefore
+        ``rule_firings`` / ``facts_derived`` / ``duplicate_derivations``
+        -- are identical to :meth:`execute` by construction (grouping
+        only reorders frames within a round); ``join_probes`` counts the
+        deduplicated probes, which is the quantity batching shrinks.
+        """
+        cols: Dict[int, List[int]] = {}
+        n = 1
+        rule = self.rule
+        resolve_id = _CATALOG.resolve
+        id_of = _CATALOG.id_of
+        intern = _CATALOG.intern
+
+        for step in self.steps:
+            if step.is_delta:
+                relation = delta_relation
+            else:
+                relation = database.get(step.pred_key)
+            if step.negated:
+                # anti-join: the key covers every position, so it *is*
+                # the candidate ID row; membership is one _rowmap probe
+                if relation is None or len(relation) == 0:
+                    continue  # nothing to refute: all frames survive
+                if not step.index_positions:
+                    return []  # 0-ary atom holds: negation fails
+                keys = _batch_keys(step.b_key_ops, cols, n, True, id_of)
+                rowmap = relation._rowmap
+                stats.join_probes += n
+                sel = [i for i in range(n) if keys[i] not in rowmap]
+                if not sel:
+                    return []
+                cols = {
+                    s: [cols[s][i] for i in sel] for s in step.b_carry_out
+                }
+                n = len(sel)
+                continue
+            if relation is None or len(relation) == 0:
+                return []
+            b_key_ops = step.b_key_ops
+            if b_key_ops:
+                keys = _batch_keys(b_key_ops, cols, n, False, id_of)
+            else:
+                keys = None
+            sel, stores, probes, scanned = _scan_batch_step(
+                relation, step.index_positions, keys,
+                step.b_row_ops, len(step.b_store_slots), cols, n,
+            )
+            stats.join_probes += probes
+            stats.tuples_scanned += scanned
+            if not sel:
+                return []
+            next_cols: Dict[int, List[int]] = {
+                s: [cols[s][i] for i in sel] for s in step.b_carry_out
+            }
+            for j, s in step.b_store_out:
+                next_cols[s] = stores[j]
+            cols = next_cols
+            n = len(sel)
+
+        head_slots = self.b_head_slots
+        if head_slots is not None:
+            stats.rule_firings += n
+            if not head_slots:
+                return [()] * n
+            if len(head_slots) == 1:
+                return [(value,) for value in cols[head_slots[0]]]
+            return list(zip(*(cols[s] for s in head_slots)))
+        produced: List[IdTuple] = []
+        b_head_ops = self.b_head_ops
+        for i in range(n):
+            args = []
+            for tag, payload in b_head_ops:
+                if tag == _SLOT:
+                    args.append(cols[payload][i])
+                elif tag == _CONST:
+                    args.append(payload)
+                elif tag == _EVAL:
+                    term, pairs = payload
+                    value = resolve(
+                        term, {v: resolve_id(cols[s][i]) for v, s in pairs}
+                    )
+                    if not value.is_ground():
+                        raise EvaluationError(
+                            f"rule {rule} produced a non-ground head "
+                            f"argument {value}; the rule is not "
+                            "range-restricted for this database"
+                        )
+                    args.append(intern(value))
+                else:  # _UNBOUND
+                    raise EvaluationError(
+                        f"rule {rule} produced a non-ground head argument "
+                        f"{payload}; the rule is not range-restricted for "
+                        "this database"
+                    )
+            stats.rule_firings += 1
+            produced.append(tuple(args))
         return produced
 
     # ------------------------------------------------------------------
@@ -606,7 +1049,8 @@ class SubqueryStep:
 
     __slots__ = ("literal", "pred_key", "is_derived", "self_recursive",
                  "lookup_positions", "key_ops", "row_ops", "maybe_unground",
-                 "generic_pairs")
+                 "generic_pairs", "b_key_ops", "b_row_ops", "b_store_slots",
+                 "b_carry_out", "b_store_out")
 
     def __init__(self, literal, pred_key, is_derived, self_recursive,
                  lookup_positions, key_ops, row_ops, maybe_unground,
@@ -629,6 +1073,12 @@ class SubqueryStep:
         #: ((var, slot) bound at entry, (var, slot) bound by this step);
         #: only populated for the maybe_unground fallback
         self.generic_pairs = generic_pairs
+        # ID-level twins, filled in by _attach_batch_ops at plan build
+        self.b_key_ops = ()
+        self.b_row_ops = ()
+        self.b_store_slots = ()
+        self.b_carry_out = ()
+        self.b_store_out = ()
 
     def __repr__(self):
         kind = "derived" if self.is_derived else "base"
@@ -650,7 +1100,8 @@ class SubqueryPlan:
     """
 
     __slots__ = ("rule", "head_key", "entry_ops", "steps", "derived_steps",
-                 "head_ops", "n_slots")
+                 "head_ops", "n_slots", "b_head_ops", "b_head_slots",
+                 "b_entry_slots")
 
     def __init__(self, rule, head_key, entry_ops, steps, head_ops, n_slots):
         self.rule = rule
@@ -663,6 +1114,11 @@ class SubqueryPlan:
         )
         self.head_ops = head_ops
         self.n_slots = n_slots
+        #: ID-level twins + the slots the entry ops must populate as
+        #: batch columns (the liveness frontier before step 0)
+        self.b_head_ops, self.b_head_slots, self.b_entry_slots = (
+            _attach_batch_ops(steps, head_ops)
+        )
 
     def __repr__(self):
         return f"SubqueryPlan({self.rule})"

@@ -77,6 +77,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from .ast import Literal, Program
+from .catalog import term_catalog
 from .database import Database, FactTuple, Relation
 from .errors import (
     EvaluationError,
@@ -88,6 +89,8 @@ from .planner import (
     SubqueryPlan,
     SubqueryProgram,
     subquery_program_for,
+    _batch_keys,
+    _scan_batch_step,
     _CONST,
     _EQ,
     _EQC,
@@ -105,6 +108,8 @@ from .unify import (
 )
 
 __all__ = ["QSQResult", "qsq_evaluate"]
+
+_CATALOG = term_catalog()
 
 
 @dataclass
@@ -263,9 +268,20 @@ class _QSQExecutor:
         delta_depth: Optional[int] = None,
         delta_rel: Optional[Relation] = None,
     ) -> None:
-        """Push input bound vectors through one plan (one delta choice)."""
+        """Push input bound vectors through one plan (one delta choice).
+
+        Entry ops filter each (small, term-level) input vector on a
+        scratch frame exactly as the per-frame interpreter did;
+        survivors are interned into the plan's entry-slot columns and
+        the body runs batch-vectorized over term IDs
+        (:meth:`_run_batch`).
+        """
         frame: List[Optional[Term]] = [None] * plan.n_slots
         entry_ops = plan.entry_ops
+        entry_slots = plan.b_entry_slots
+        intern = _CATALOG.intern
+        cols: Dict[int, List[int]] = {s: [] for s in entry_slots}
+        n = 0
         for vector in vectors:
             ok = True
             for pos, tag, payload in entry_ops:
@@ -291,7 +307,147 @@ class _QSQExecutor:
                     for v, s in free_pairs:
                         frame[s] = seed[v]
             if ok:
-                self._run(plan, 0, frame, delta_depth, delta_rel)
+                for s in entry_slots:
+                    cols[s].append(intern(frame[s]))
+                n += 1
+        if n:
+            self._run_batch(plan, cols, n, delta_depth, delta_rel)
+
+    # ------------------------------------------------------------------
+    def _run_batch(self, plan, cols, n, delta_depth, delta_rel) -> None:
+        """Batch-vectorized body execution over ID columns.
+
+        The batch twin of the per-frame :meth:`_run` recursion: partial
+        matches travel as parallel columns of term IDs, each step probes
+        its store once per *distinct* key in the batch, derived-step
+        keys are registered as subqueries once per distinct key, and
+        answers are emitted as ID rows -- terms are resolved only when
+        ``QSQResult.answers`` is materialized.  Emission happens after
+        the whole batch has been joined, so answers produced by one
+        input vector reach sibling vectors through the next round's
+        delta instead of intra-round: the same fixpoint, ``Q`` and
+        ``F``, discovered at worst a round later.  A step whose subquery
+        key may be non-ground diverts its frames to the per-frame
+        interpreter, which re-checks groundness at run time and handles
+        the generic fallback.
+        """
+        resolve_id = _CATALOG.resolve
+        resolve_row = _CATALOG.resolve_row
+        id_of = _CATALOG.id_of
+        intern = _CATALOG.intern
+        for depth, step in enumerate(plan.steps):
+            if step.maybe_unground:
+                n_slots = plan.n_slots
+                for i in range(n):
+                    frame: List[Optional[Term]] = [None] * n_slots
+                    for s, col in cols.items():
+                        frame[s] = resolve_id(col[i])
+                    self._run(plan, depth, frame, delta_depth, delta_rel)
+                return
+            b_key_ops = step.b_key_ops
+            if step.is_derived:
+                pred = step.pred_key
+                # derived keys double as subquery vectors, so _EVAL
+                # keys are interned, and each distinct key registers
+                # (at most) one new subquery -- before the empty-store
+                # check, exactly like the per-frame path
+                keys = (
+                    _batch_keys(b_key_ops, cols, n, False, intern)
+                    if b_key_ops else None
+                )
+                inputs = self.result.queries.setdefault(pred, set())
+                if keys is None:
+                    term_keys = [()]
+                elif len(b_key_ops) == 1:
+                    term_keys = [(resolve_id(k),) for k in set(keys)]
+                else:
+                    term_keys = [resolve_row(k) for k in set(keys)]
+                for term_key in term_keys:
+                    if term_key not in inputs:
+                        inputs.add(term_key)
+                        self.result.subqueries_generated += 1
+                        self.pending_inputs.setdefault(
+                            pred, []
+                        ).append(term_key)
+                if delta_depth == depth:
+                    relation = delta_rel
+                else:
+                    relation = self.answer_rels.get(pred)
+                if relation is None or len(relation) == 0:
+                    return
+            else:
+                relation = self.database.get(step.pred_key)
+                if relation is None or len(relation) == 0:
+                    return
+                keys = (
+                    _batch_keys(b_key_ops, cols, n, False, id_of)
+                    if b_key_ops else None
+                )
+            sel, stores, _probes, _scanned = _scan_batch_step(
+                relation, step.lookup_positions, keys,
+                step.b_row_ops, len(step.b_store_slots), cols, n,
+            )
+            if not sel:
+                return
+            next_cols: Dict[int, List[int]] = {
+                s: [cols[s][i] for i in sel] for s in step.b_carry_out
+            }
+            for j, s in step.b_store_out:
+                next_cols[s] = stores[j]
+            cols = next_cols
+            n = len(sel)
+
+        head_slots = plan.b_head_slots
+        if head_slots is not None:
+            if not head_slots:
+                rows: List[Tuple[int, ...]] = [()] * n
+            elif len(head_slots) == 1:
+                rows = [(v,) for v in cols[head_slots[0]]]
+            else:
+                rows = list(zip(*(cols[s] for s in head_slots)))
+        else:
+            rows = []
+            b_head_ops = plan.b_head_ops
+            for i in range(n):
+                args = []
+                ok = True
+                for tag, payload in b_head_ops:
+                    if tag == _SLOT:
+                        args.append(cols[payload][i])
+                    elif tag == _CONST:
+                        args.append(payload)
+                    elif tag == _EVAL:
+                        term, pairs = payload
+                        value = resolve(
+                            term,
+                            {v: resolve_id(cols[s][i]) for v, s in pairs},
+                        )
+                        if not value.is_ground():
+                            # mirror the legacy _solve_rule: silently
+                            # drop non-ground rows
+                            ok = False
+                            break
+                        args.append(intern(value))
+                    else:  # _UNBOUND: the row can never be ground
+                        ok = False
+                        break
+                if ok:
+                    rows.append(tuple(args))
+        if not rows:
+            return
+        pred = plan.head_key
+        relation = self.answer_rels.get(pred)
+        if relation is None:
+            relation = self._new_answer_relation(pred)
+            self.answer_rels[pred] = relation
+        fresh = relation.add_id_rows(rows)
+        if fresh:
+            self.answer_total += len(fresh)
+            delta = self.pending_answers.get(pred)
+            if delta is None:
+                delta = self._new_answer_relation(pred)
+                self.pending_answers[pred] = delta
+            delta.add_id_rows(fresh)
 
     # ------------------------------------------------------------------
     def _build_key(self, key_ops, frame) -> FactTuple:

@@ -1,0 +1,83 @@
+"""TermCatalog: the ground-term <-> dense-int-ID boundary.
+
+The columnar storage layer stores only catalog IDs, so the whole
+refactor is sound exactly when interning is a bijection on ground terms:
+``resolve(intern(t)) == t``, identical terms share an ID, distinct terms
+never collide, and non-ground terms are rejected.
+"""
+
+import pytest
+
+from repro import Constant, Variable
+from repro.datalog.catalog import TermCatalog, term_catalog
+from repro.datalog.terms import Struct
+
+
+def c(value):
+    return Constant(value)
+
+
+class TestRoundTrip:
+    def test_string_constants(self):
+        cat = TermCatalog()
+        terms = [c("alice"), c("bob"), c(""), c("alice")]
+        ids = [cat.intern(t) for t in terms]
+        assert ids[0] == ids[3]  # identical terms share an ID
+        assert len(set(ids[:3])) == 3
+        for t, i in zip(terms, ids):
+            assert cat.resolve(i) == t
+
+    def test_int_constants(self):
+        cat = TermCatalog()
+        for value in (0, 1, -1, 2**40):
+            assert cat.resolve(cat.intern(c(value))) == c(value)
+
+    def test_int_and_string_do_not_collide(self):
+        # Constant(1) != Constant("1"): the catalog must keep them apart
+        cat = TermCatalog()
+        assert cat.intern(c(1)) != cat.intern(c("1"))
+
+    def test_structs(self):
+        cat = TermCatalog()
+        plain = Struct("f", (c("a"), c(1)))
+        nested = Struct("f", (Struct("g", (c("a"),)), c("b")))
+        for term in (plain, nested):
+            assert cat.resolve(cat.intern(term)) == term
+        assert cat.intern(plain) == cat.intern(Struct("f", (c("a"), c(1))))
+
+    def test_resolve_row_inverts_intern_row(self):
+        cat = TermCatalog()
+        row = (c("a"), c(7), Struct("f", (c("x"),)))
+        assert cat.resolve_row(cat.intern_row(row)) == row
+
+
+class TestCatalogContract:
+    def test_ids_are_dense_and_stable(self):
+        cat = TermCatalog()
+        first = cat.intern(c("a"))
+        second = cat.intern(c("b"))
+        assert (first, second) == (0, 1)
+        assert len(cat) == 2
+        assert cat.intern(c("a")) == first  # re-interning never moves
+
+    def test_id_of_is_a_read_only_probe(self):
+        cat = TermCatalog()
+        assert cat.id_of(c("never-seen")) == -1
+        assert len(cat) == 0  # the miss did not allocate
+        known = cat.intern(c("seen"))
+        assert cat.id_of(c("seen")) == known
+
+    def test_non_ground_terms_are_rejected(self):
+        cat = TermCatalog()
+        with pytest.raises(ValueError):
+            cat.intern(Variable("X"))
+        with pytest.raises(ValueError):
+            cat.intern(Struct("f", (Variable("X"),)))
+        with pytest.raises(ValueError):
+            cat.intern_row((c("a"), Variable("X")))
+
+    def test_process_wide_singleton(self):
+        assert term_catalog() is term_catalog()
+        cat = term_catalog()
+        term = c("singleton-round-trip")
+        assert cat.resolve(cat.intern(term)) == term

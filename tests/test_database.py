@@ -59,6 +59,31 @@ class TestRelation:
         dup.add((c("x"), c("y")))
         assert len(rel) == 1 and len(dup) == 2
 
+    def test_copy_preserves_registered_indexes(self):
+        """Regression: copy() used to drop registered indexes, so every
+        seeded_database()/Database.copy() consumer paid a lazy O(n)
+        rebuild mid-join."""
+        rel = Relation("par")
+        rel.register_index((1,))
+        rel.add_many([(c("a"), c("b")), (c("z"), c("b"))])
+        dup = rel.copy()
+        assert (1,) in dup._indexes
+        # and the carried index stays maintained, not just present
+        dup.add((c("q"), c("b")))
+        assert len(dup.lookup((1,), (c("b"),))) == 3
+        assert len(rel.lookup((1,), (c("b"),))) == 2
+
+    def test_copy_preserves_indexes_across_retraction(self):
+        rel = Relation("par")
+        rel.register_index((0,))
+        rel.add_many([(c("a"), c("b")), (c("a"), c("x")), (c("b"), c("y"))])
+        rel.discard((c("a"), c("x")))
+        dup = rel.copy()
+        assert dup.lookup((0,), (c("a"),)) == [(c("a"), c("b"))]
+        dup.add((c("a"), c("x")))
+        assert len(dup.lookup((0,), (c("a"),))) == 2
+        assert len(rel.lookup((0,), (c("a"),))) == 1
+
 
 class TestLookupNormalization:
     """Regression: unsorted positions used to build a silently
