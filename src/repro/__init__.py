@@ -49,6 +49,7 @@ from .datalog import (
     EvaluationError,
     EvaluationResult,
     EvaluationStats,
+    IntegrityError,
     JoinPlan,
     JoinStep,
     LinExpr,
@@ -96,6 +97,13 @@ from .datalog import (
 )
 from .core import (
     AdornedProgram,
+    BudgetExceeded,
+    BudgetMeter,
+    CancellationToken,
+    EvaluationBudget,
+    EvaluationCancelled,
+    FaultPlan,
+    InjectedFault,
     QueryAnswer,
     REWRITE_METHODS,
     RewrittenProgram,
@@ -154,7 +162,7 @@ __all__ = [
     # errors
     "ReproError", "ParseError", "WellFormednessError", "ConnectivityError",
     "SipValidationError", "AdornmentError", "EvaluationError",
-    "NonTerminationError", "SafetyError", "RewriteError",
+    "NonTerminationError", "SafetyError", "RewriteError", "IntegrityError",
     "StratificationError", "UnsafeNegationError", "UnsupportedProgramError",
     # core
     "AdornedProgram", "adorn_program",
@@ -169,6 +177,10 @@ __all__ = [
     "check_optimality", "compare_sips",
     "rewrite", "answer_query", "bottom_up_answer", "unwrap_values",
     "RewrittenProgram", "QueryAnswer", "REWRITE_METHODS",
+    # resource governance
+    "EvaluationBudget", "BudgetMeter", "BudgetExceeded",
+    "EvaluationCancelled", "CancellationToken", "FaultPlan",
+    "InjectedFault",
     # session
     "Session", "QueryResult", "SESSION_METHODS", "BASELINE_METHODS",
 ]

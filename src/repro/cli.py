@@ -46,6 +46,7 @@ from .core.safety import counting_safety, magic_safety, negation_safety
 from .core.stratify import stratify
 from .core.sips import build_chain_sip, build_empty_sip, build_full_sip
 from .datalog.database import Database
+from .core.limits import BudgetExceeded
 from .datalog.errors import ReproError
 from .datalog.parser import parse_program, parse_query
 from .session import BASELINE_METHODS, Session
@@ -140,6 +141,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument(
         "--max-iterations", type=int, default=None,
         help="abort after this many fixpoint rounds",
+    )
+    p_query.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the evaluation; overrun aborts "
+        "cleanly (exit code 4) without mutating the database",
+    )
+    p_query.add_argument(
+        "--max-facts", type=int, default=None, metavar="N",
+        help="derived-fact budget for the evaluation; overrun aborts "
+        "cleanly (exit code 4) without mutating the database",
     )
     p_query.add_argument(
         "--stats", action="store_true", help="print work counters"
@@ -278,6 +289,8 @@ def _cmd_query(args) -> int:
             semijoin=args.semijoin,
             optimize=not args.no_optimize,
             max_iterations=args.max_iterations,
+            timeout=args.timeout,
+            max_facts=args.max_facts,
         )
     free_vars = [v.name for v in query.free_variables()]
     if not free_vars:
@@ -449,6 +462,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         # interpreter-exit flush (exit status 120)
         sys.stdout.flush()
         return code
+    except BudgetExceeded as exc:
+        # a tripped --timeout/--max-facts budget is an expected,
+        # clean outcome: one structured line, a distinct exit code,
+        # and (by the transactional evaluation) an unmutated database
+        print(str(exc), file=sys.stderr)
+        return 4
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -19,6 +19,15 @@ from .optimality import (
     check_optimality,
     compare_sips,
 )
+from .limits import (
+    BudgetExceeded,
+    BudgetMeter,
+    CancellationToken,
+    EvaluationBudget,
+    EvaluationCancelled,
+    FaultPlan,
+    InjectedFault,
+)
 from .pipeline import (
     QueryAnswer,
     REWRITE_METHODS,
@@ -79,6 +88,13 @@ __all__ = [
     "SipComparison",
     "check_optimality",
     "compare_sips",
+    "BudgetExceeded",
+    "BudgetMeter",
+    "CancellationToken",
+    "EvaluationBudget",
+    "EvaluationCancelled",
+    "FaultPlan",
+    "InjectedFault",
     "QueryAnswer",
     "REWRITE_METHODS",
     "answer_query",

@@ -170,6 +170,9 @@ def answer_query(
     max_facts: Optional[int] = None,
     use_planner: bool = True,
     plan_cache=None,
+    timeout: Optional[float] = None,
+    budget=None,
+    on_budget_exceeded: Optional[str] = None,
 ) -> QueryAnswer:
     """Answer a query end to end (legacy one-shot shim).
 
@@ -215,6 +218,9 @@ def answer_query(
         semijoin=semijoin,
         max_iterations=max_iterations,
         max_facts=max_facts,
+        timeout=timeout,
+        budget=budget,
+        on_budget_exceeded=on_budget_exceeded,
     )
     return result.answer
 
@@ -228,8 +234,13 @@ def bottom_up_answer(
     max_facts: Optional[int] = None,
     use_planner: bool = True,
     plan_cache=None,
+    meter=None,
 ) -> QueryAnswer:
-    """The Section 1 strawman: evaluate everything, then select."""
+    """The Section 1 strawman: evaluate everything, then select.
+
+    ``meter`` is an optional :class:`repro.core.limits.BudgetMeter`
+    checked at the engine's round/batch boundaries.
+    """
     result = evaluate(
         program,
         database,
@@ -238,6 +249,7 @@ def bottom_up_answer(
         max_facts=max_facts,
         use_planner=use_planner,
         plan_cache=plan_cache,
+        meter=meter,
     )
     return QueryAnswer(
         answers=answer_tuples(result, query.literal),

@@ -21,6 +21,7 @@ from .errors import (
     AdornmentError,
     ConnectivityError,
     EvaluationError,
+    IntegrityError,
     NonTerminationError,
     ParseError,
     ReproError,
@@ -120,6 +121,7 @@ __all__ = [
     "SipValidationError",
     "AdornmentError",
     "EvaluationError",
+    "IntegrityError",
     "NonTerminationError",
     "SafetyError",
     "RewriteError",

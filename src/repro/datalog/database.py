@@ -71,6 +71,7 @@ from typing import (
 
 from .ast import Literal
 from .catalog import term_catalog
+from .errors import IntegrityError
 from .terms import Constant, Term
 
 __all__ = ["Relation", "Database", "FactTuple", "IdTuple"]
@@ -623,6 +624,144 @@ class Relation:
         }
         return duplicate
 
+    # ------------------------------------------------------------------
+    # accounting / integrity
+    # ------------------------------------------------------------------
+    def estimated_bytes(self) -> int:
+        """Coarse storage estimate for the memory budget.
+
+        Counts 8 bytes per column cell and per index-bucket slot plus a
+        flat per-row charge for the rowmap entry; O(#indexes), never
+        walks buckets, so it is cheap enough for a per-round check.
+        """
+        n = len(self._live)
+        arity = self.arity or 0
+        return 8 * arity * n + 8 * n * len(self._indexes) + 96 * len(self._rowmap)
+
+    def check_invariants(self) -> bool:
+        """Verify the columnar storage invariants; raises IntegrityError.
+
+        The oracle behind ``Database.check_integrity`` and the
+        fault-injection atomicity property: columns equal-length,
+        rowmap and columns agree, liveness flags match the tombstone
+        count, memoized term rows resolve to their ID rows, every index
+        bucket references in-range slots whose live members project to
+        the bucket key and covers every live row, and the version
+        counter has kept pace with the live tuple count.  Returns True
+        so ``assert rel.check_invariants()`` reads naturally.
+        """
+
+        def fail(invariant: str, detail: str):
+            raise IntegrityError(
+                f"relation {self.name}: {invariant}: {detail}",
+                relation=self.name,
+                invariant=invariant,
+            )
+
+        n = len(self._live)
+        columns = self._columns
+        if columns is None:
+            if n or self._rowmap or self._term_rows:
+                fail("columns", "no columns but rows recorded")
+        else:
+            if self.arity is None or len(columns) != self.arity:
+                fail(
+                    "columns",
+                    f"{len(columns)} columns for arity {self.arity}",
+                )
+            for p, column in enumerate(columns):
+                if len(column) != n:
+                    fail(
+                        "columns",
+                        f"column {p} holds {len(column)} cells, "
+                        f"expected {n}",
+                    )
+        if len(self._term_rows) != n:
+            fail(
+                "term-rows",
+                f"{len(self._term_rows)} memo slots for {n} rows",
+            )
+        dead = n - sum(self._live)
+        if dead != self._dead:
+            fail(
+                "tombstones",
+                f"counter says {self._dead} dead slots, flags say {dead}",
+            )
+        if len(self._rowmap) != n - dead:
+            fail(
+                "rowmap",
+                f"{len(self._rowmap)} mapped rows for {n - dead} live slots",
+            )
+        seen_slots = set()
+        resolve = _CATALOG.resolve
+        for idrow, slot in self._rowmap.items():
+            if not 0 <= slot < n:
+                fail("rowmap", f"slot {slot} out of range for {n} rows")
+            if not self._live[slot]:
+                fail("rowmap", f"row {idrow} maps to tombstoned slot {slot}")
+            if slot in seen_slots:
+                fail("rowmap", f"slot {slot} mapped twice")
+            seen_slots.add(slot)
+            if columns is not None:
+                stored = tuple(column[slot] for column in columns)
+                if stored != idrow:
+                    fail(
+                        "rowmap",
+                        f"slot {slot} stores {stored}, rowmap says {idrow}",
+                    )
+            memo = self._term_rows[slot]
+            if memo is not None:
+                resolved = tuple(resolve(term_id) for term_id in idrow)
+                if memo != resolved:
+                    fail(
+                        "term-rows",
+                        f"slot {slot} memoizes {memo}, ids resolve to "
+                        f"{resolved}",
+                    )
+        for positions, index in self._indexes.items():
+            covered = set()
+            for key, bucket in index.items():
+                for slot in bucket:
+                    if not 0 <= slot < n:
+                        fail(
+                            "index",
+                            f"index {positions} bucket {key} references "
+                            f"slot {slot} beyond {n} rows",
+                        )
+                    if not self._live[slot]:
+                        continue  # stale entries are pruned lazily
+                    if columns is not None:
+                        projection = (
+                            columns[positions[0]][slot]
+                            if len(positions) == 1
+                            else tuple(columns[p][slot] for p in positions)
+                        )
+                        if projection != key:
+                            fail(
+                                "index",
+                                f"index {positions} bucket {key} holds live "
+                                f"slot {slot} projecting to {projection}",
+                            )
+                    if slot in covered:
+                        fail(
+                            "index",
+                            f"index {positions} lists live slot {slot} twice",
+                        )
+                    covered.add(slot)
+            if covered != seen_slots:
+                missing = sorted(seen_slots - covered)
+                fail(
+                    "index",
+                    f"index {positions} misses live slots {missing[:5]}",
+                )
+        if self.version < len(self._rowmap):
+            fail(
+                "version",
+                f"version {self.version} below live count "
+                f"{len(self._rowmap)}",
+            )
+        return True
+
     def __repr__(self):
         return f"Relation({self.name!r}, {len(self)} tuples)"
 
@@ -743,6 +882,38 @@ class Database:
             duplicate._relations[key] = dup_rel
         duplicate._version = self._version
         return duplicate
+
+    def estimated_bytes(self) -> int:
+        """Coarse storage estimate over all relations (memory budget)."""
+        return sum(
+            128 + rel.estimated_bytes() for rel in self._relations.values()
+        )
+
+    def check_integrity(self) -> bool:
+        """Verify every relation's invariants and the version counter.
+
+        Raises :class:`IntegrityError` on the first violation; returns
+        True otherwise.  This is the oracle the fault-injection
+        atomicity property asserts after every aborted evaluation.
+        """
+        total = 0
+        for key, rel in self._relations.items():
+            rel.check_invariants()
+            if rel.owner is not self:
+                raise IntegrityError(
+                    f"relation {key}: owner backreference does not point "
+                    f"at this database",
+                    relation=key,
+                    invariant="owner",
+                )
+            total += rel.version
+        if total != self._version:
+            raise IntegrityError(
+                f"database version {self._version} != sum of relation "
+                f"versions {total}",
+                invariant="version",
+            )
+        return True
 
     def merged_with(self, other: "Database") -> "Database":
         """A new database containing the facts of both."""

@@ -363,6 +363,7 @@ def evaluate_naive(
     use_planner: bool = True,
     plan_cache: Optional[PlanCache] = None,
     vectorized: bool = True,
+    meter=None,
 ) -> EvaluationResult:
     """Naive bottom-up fixpoint: all rules against all facts, each round.
 
@@ -374,6 +375,12 @@ def evaluate_naive(
     columns (:meth:`JoinPlan.execute_batch`); pass False to run the
     compiled plans row-at-a-time at the term level instead.  Both derive
     identical fact sets and solution counters.
+
+    ``meter`` is an optional budget meter (duck-typed so this module
+    never imports :mod:`repro.core.limits`): ``check_round`` runs at
+    every fixpoint-round boundary and ``check_batch`` at rule/batch
+    boundaries, each free to abort by raising.  Evaluation runs on a
+    copy of ``database``, so an abort installs nothing.
     """
     working = database.copy()
     stats = EvaluationStats()
@@ -382,21 +389,33 @@ def evaluate_naive(
     if use_planner:
         compiled = _compiled_for(program, working, stats, plan_cache)
     batch = compiled is not None and vectorized
-    for stratum in _evaluation_strata(program, compiled):
+    for stratum_index, stratum in enumerate(
+        _evaluation_strata(program, compiled)
+    ):
         changed = True
+        round_in_stratum = 0
         while changed:
             changed = False
             stats.iterations += 1
+            round_in_stratum += 1
             _check_budget(
                 stats, stats.facts_derived, max_iterations, max_facts
             )
+            if meter is not None:
+                meter.check_round(
+                    stats.facts_derived,
+                    stats.tuples_scanned,
+                    stratum_index,
+                    round_in_stratum,
+                    working,
+                )
             for rule_index in stratum:
                 rule = program.rules[rule_index]
                 head_key = rule.head.pred_key
                 relation = working.relation(head_key)
                 if batch:
                     rows = compiled.plan(rule_index).execute_batch(
-                        working, stats
+                        working, stats, meter=meter
                     )
                     if rows:
                         fresh = relation.add_id_rows(rows)
@@ -407,8 +426,14 @@ def evaluate_naive(
                             changed = True
                     continue
                 if compiled is not None:
-                    rows = compiled.plan(rule_index).execute(working, stats)
+                    rows = compiled.plan(rule_index).execute(
+                        working, stats, meter=meter
+                    )
                 else:
+                    if meter is not None:
+                        meter.check_batch(
+                            stats.facts_derived, stats.tuples_scanned
+                        )
                     rows = _evaluate_rule(rule, working, stats)
                 for row in rows:
                     if relation.add(row):
@@ -516,6 +541,7 @@ def evaluate_seminaive(
     use_planner: bool = True,
     plan_cache: Optional[PlanCache] = None,
     vectorized: bool = True,
+    meter=None,
 ) -> EvaluationResult:
     """Semi-naive bottom-up fixpoint (differential evaluation).
 
@@ -529,6 +555,9 @@ def evaluate_seminaive(
     rows end to end, and terms are only resolved back when answers are
     materialized.  Pass False for the row-at-a-time compiled path; both
     derive identical fact sets and solution counters.
+
+    ``meter`` -- optional budget meter checked at round and rule/batch
+    boundaries, as in :func:`evaluate_naive`.
     """
     working = database.copy()
     stats = EvaluationStats()
@@ -540,7 +569,9 @@ def evaluate_seminaive(
         delta_positions = compiled.delta_index_positions()
     batch = compiled is not None and vectorized
 
-    for stratum in _evaluation_strata(program, compiled):
+    for stratum_index, stratum in enumerate(
+        _evaluation_strata(program, compiled)
+    ):
         # round 1 of the stratum: all its rules against the current
         # database (derived relations of this stratum are empty, so only
         # rules over base/lower-stratum facts can fire; rules with
@@ -550,13 +581,22 @@ def evaluate_seminaive(
         # are complete by now.
         deltas: Dict[str, Relation] = {}
         stats.iterations += 1
+        round_in_stratum = 1
+        if meter is not None:
+            meter.check_round(
+                stats.facts_derived,
+                stats.tuples_scanned,
+                stratum_index,
+                round_in_stratum,
+                working,
+            )
         for rule_index in stratum:
             rule = program.rules[rule_index]
             head_key = rule.head.pred_key
             relation = working.relation(head_key)
             if batch:
                 rows = compiled.plan(rule_index).execute_batch(
-                    working, stats
+                    working, stats, meter=meter
                 )
                 if rows:
                     fresh = relation.add_id_rows(rows)
@@ -570,8 +610,14 @@ def evaluate_seminaive(
                         delta_rel.extend(fresh)
                 continue
             if compiled is not None:
-                rows = compiled.plan(rule_index).execute(working, stats)
+                rows = compiled.plan(rule_index).execute(
+                    working, stats, meter=meter
+                )
             else:
+                if meter is not None:
+                    meter.check_batch(
+                        stats.facts_derived, stats.tuples_scanned
+                    )
                 rows = _evaluate_rule(rule, working, stats)
             for row in rows:
                 if relation.add(row):
@@ -591,9 +637,18 @@ def evaluate_seminaive(
         # stratum -- never match one)
         while deltas:
             stats.iterations += 1
+            round_in_stratum += 1
             _check_budget(
                 stats, stats.facts_derived, max_iterations, max_facts
             )
+            if meter is not None:
+                meter.check_round(
+                    stats.facts_derived,
+                    stats.tuples_scanned,
+                    stratum_index,
+                    round_in_stratum,
+                    working,
+                )
             new_deltas: Dict[str, Relation] = {}
             for rule_index in stratum:
                 rule = program.rules[rule_index]
@@ -610,7 +665,7 @@ def evaluate_seminaive(
                     if batch:
                         rows = compiled.plan(
                             rule_index, index
-                        ).execute_batch(working, stats, delta_rel)
+                        ).execute_batch(working, stats, delta_rel, meter=meter)
                         if rows:
                             fresh = relation.add_id_rows(rows)
                             n_fresh = len(fresh)
@@ -628,9 +683,13 @@ def evaluate_seminaive(
                         continue
                     if compiled is not None:
                         rows = compiled.plan(rule_index, index).execute(
-                            working, stats, delta_rel
+                            working, stats, delta_rel, meter=meter
                         )
                     else:
+                        if meter is not None:
+                            meter.check_batch(
+                                stats.facts_derived, stats.tuples_scanned
+                            )
                         delta_spec = (index, literal.pred_key, delta_rel)
                         rows = _evaluate_rule(
                             rule, working, stats, delta_spec
@@ -662,17 +721,18 @@ def evaluate(
     use_planner: bool = True,
     plan_cache: Optional[PlanCache] = None,
     vectorized: bool = True,
+    meter=None,
 ) -> EvaluationResult:
     """Dispatch to a bottom-up strategy by name."""
     if method == "naive":
         return evaluate_naive(
             program, database, max_iterations, max_facts, use_planner,
-            plan_cache, vectorized,
+            plan_cache, vectorized, meter,
         )
     if method == "seminaive":
         return evaluate_seminaive(
             program, database, max_iterations, max_facts, use_planner,
-            plan_cache, vectorized,
+            plan_cache, vectorized, meter,
         )
     raise ValueError(f"unknown evaluation method {method!r}")
 

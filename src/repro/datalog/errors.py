@@ -73,6 +73,21 @@ class NonTerminationError(EvaluationError):
         self.facts = facts
 
 
+class IntegrityError(ReproError):
+    """Raised when a storage invariant of :class:`Relation`/`Database` fails.
+
+    ``Relation.check_invariants`` and ``Database.check_integrity`` raise
+    this with a message naming the relation and the violated invariant.
+    It indicates a bug in the storage layer (or deliberate corruption in
+    a test), never a user error.
+    """
+
+    def __init__(self, message, relation=None, invariant=None):
+        super().__init__(message)
+        self.relation = relation
+        self.invariant = invariant
+
+
 class SafetyError(ReproError):
     """Raised when a safety analysis cannot certify a program/query pair."""
 

@@ -607,13 +607,19 @@ class JoinPlan:
         database: Database,
         stats,
         delta_relation: Optional[Relation] = None,
+        meter=None,
     ) -> List[FactTuple]:
         """All head instances derivable from this plan.
 
         ``delta_relation`` replaces the full relation at the step compiled
         as the delta occurrence (other occurrences of the same predicate
         still see the full relation, which includes the delta facts).
+
+        ``meter``, when given, is consulted once at entry (a batch/rule
+        boundary for the resource governor) and may abort by raising.
         """
+        if meter is not None:
+            meter.check_batch(stats.facts_derived, stats.tuples_scanned)
         frame: List[Optional[Term]] = [None] * self.n_slots
         produced: List[FactTuple] = []
         steps = self.steps
@@ -735,6 +741,7 @@ class JoinPlan:
         database: Database,
         stats,
         delta_relation: Optional[Relation] = None,
+        meter=None,
     ) -> List[IdTuple]:
         """All head instances derivable from this plan, as ID rows.
 
@@ -747,7 +754,12 @@ class JoinPlan:
         -- are identical to :meth:`execute` by construction (grouping
         only reorders frames within a round); ``join_probes`` counts the
         deduplicated probes, which is the quantity batching shrinks.
+
+        ``meter``, when given, is consulted once at entry (a batch
+        boundary for the resource governor) and may abort by raising.
         """
+        if meter is not None:
+            meter.check_batch(stats.facts_derived, stats.tuples_scanned)
         cols: Dict[int, List[int]] = {}
         n = 1
         rule = self.rule

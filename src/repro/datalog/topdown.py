@@ -190,6 +190,7 @@ def qsq_evaluate(
     max_facts: Optional[int] = None,
     use_planner: bool = True,
     plan_cache: Optional[PlanCache] = None,
+    meter=None,
 ) -> QSQResult:
     """Evaluate an adorned program top-down, memoizing queries and answers.
 
@@ -202,6 +203,13 @@ def qsq_evaluate(
     or the legacy interpretive evaluator; both compute identical ``Q``
     and ``F``.  ``plan_cache`` overrides the shared compiled-plan cache
     (compiled path only).
+
+    ``meter`` is an optional budget meter (duck-typed, see
+    :mod:`repro.core.limits`): ``check_round`` runs at every QSQ round
+    and ``check_batch`` at every plan invocation, either free to abort
+    by raising.  QSQ stores answers outside the database (the only
+    database mutation is physical index registration), so an abort
+    leaves the database logically untouched.
     """
     if adorned_program.has_negation():
         raise UnsupportedProgramError(
@@ -224,6 +232,7 @@ def qsq_evaluate(
             max_iterations,
             max_facts,
             plan_cache,
+            meter,
         )
     return _qsq_evaluate_legacy(
         adorned_program,
@@ -232,6 +241,7 @@ def qsq_evaluate(
         derived,
         max_iterations,
         max_facts,
+        meter,
     )
 
 
@@ -248,10 +258,11 @@ class _QSQExecutor:
     """
 
     __slots__ = ("compiled", "database", "result", "answer_rels",
-                 "pending_inputs", "pending_answers", "answer_total")
+                 "pending_inputs", "pending_answers", "answer_total",
+                 "meter")
 
     def __init__(self, compiled: SubqueryProgram, database: Database,
-                 result: QSQResult):
+                 result: QSQResult, meter=None):
         self.compiled = compiled
         self.database = database
         self.result = result
@@ -259,6 +270,7 @@ class _QSQExecutor:
         self.pending_inputs: Dict[str, List[FactTuple]] = {}
         self.pending_answers: Dict[str, Relation] = {}
         self.answer_total = 0
+        self.meter = meter
 
     # ------------------------------------------------------------------
     def execute(
@@ -276,6 +288,8 @@ class _QSQExecutor:
         the body runs batch-vectorized over term IDs
         (:meth:`_run_batch`).
         """
+        if self.meter is not None:
+            self.meter.check_batch(self.answer_total)
         frame: List[Optional[Term]] = [None] * plan.n_slots
         entry_ops = plan.entry_ops
         entry_slots = plan.b_entry_slots
@@ -603,6 +617,7 @@ def _qsq_evaluate_compiled(
     max_iterations: Optional[int],
     max_facts: Optional[int],
     plan_cache: Optional[PlanCache],
+    meter=None,
 ) -> QSQResult:
     compiled, cache_hit = subquery_program_for(adorned_program, plan_cache)
     compiled.register_indexes(database)
@@ -611,7 +626,7 @@ def _qsq_evaluate_compiled(
         result.plan_cache_hits = 1
     else:
         result.plan_cache_misses = 1
-    executor = _QSQExecutor(compiled, database, result)
+    executor = _QSQExecutor(compiled, database, result, meter)
 
     query_key = query_literal.pred_key
     seed = tuple(arg for arg in query_literal.args if arg.is_ground())
@@ -627,6 +642,10 @@ def _qsq_evaluate_compiled(
                 f"QSQ evaluation exceeded {max_iterations} iterations",
                 iterations=result.iterations,
                 facts=executor.answer_total,
+            )
+        if meter is not None:
+            meter.check_round(
+                executor.answer_total, round_=result.iterations
             )
         new_inputs = executor.pending_inputs
         executor.pending_inputs = {}
@@ -687,6 +706,7 @@ def _qsq_evaluate_legacy(
     derived: Set[str],
     max_iterations: Optional[int],
     max_facts: Optional[int],
+    meter=None,
 ) -> QSQResult:
     result = QSQResult()
     query_key = query_literal.pred_key
@@ -707,6 +727,10 @@ def _qsq_evaluate_legacy(
                 f"QSQ evaluation exceeded {max_iterations} iterations",
                 iterations=result.iterations,
                 facts=result.answer_count(),
+            )
+        if meter is not None:
+            meter.check_round(
+                result.answer_count(), round_=result.iterations
             )
         for pred_key, inputs in list(result.queries.items()):
             for rule in rules_by_head.get(pred_key, ()):

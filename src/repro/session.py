@@ -53,6 +53,12 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from .core.adornment import AdornedProgram, adorn_program
+from .core.limits import (
+    BudgetExceeded,
+    CancellationToken,
+    EvaluationBudget,
+    FaultPlan,
+)
 from .core.pipeline import (
     REWRITE_METHODS,
     QueryAnswer,
@@ -133,6 +139,15 @@ class QueryResult:
     (``answer.evaluation``, the raw QSQ answer sets); only the cold
     result exposes those, and memo-served ``rows`` are an immutable
     frozenset snapshot (the memo never aliases a caller-mutable set).
+
+    ``degraded`` marks answers produced by the graceful-degradation
+    path: a rewrite method tripped its budget and the compiled
+    semi-naive fallback answered under the remaining budget (degraded
+    results are exact -- the fallback ran to fixpoint -- but they are
+    never memoized, since the method that produced them is not the one
+    dispatch would normally pick).  ``budget_spent`` is the governing
+    meter's final accounting (elapsed/facts/tuples/stratum/round) when
+    the query ran under a budget, else None.
     """
 
     rows: Set[FactTuple]
@@ -146,6 +161,8 @@ class QueryResult:
     answer: Optional[QueryAnswer] = None
     memo_hits: int = 0
     memo_misses: int = 0
+    degraded: bool = False
+    budget_spent: Optional[Dict[str, object]] = None
     _session: Optional["Session"] = field(
         default=None, repr=False, compare=False
     )
@@ -436,6 +453,10 @@ class Session:
         max_iterations: Optional[int] = None,
         max_facts: Optional[int] = None,
         use_planner: Optional[bool] = None,
+        timeout: Optional[float] = None,
+        cancellation: Optional[CancellationToken] = None,
+        budget: Optional[EvaluationBudget] = None,
+        on_budget_exceeded: Optional[str] = None,
     ) -> QueryResult:
         """Answer a query, consulting the cross-evaluation memo first.
 
@@ -444,6 +465,25 @@ class Session:
         session source.  ``method`` is ``"auto"`` (default), a rewrite
         method, or a baseline; the remaining options mirror
         :func:`repro.answer_query` and participate in the memo key.
+
+        Resource governance: ``timeout`` (seconds of wall clock),
+        ``max_facts`` (derived-fact cap), and ``cancellation`` (a
+        :class:`~repro.core.limits.CancellationToken`) assemble an
+        :class:`~repro.core.limits.EvaluationBudget`; pass ``budget=``
+        directly for the full option set (tuples scanned, memory
+        estimate, fault plan) -- but not both.  A budget trip raises
+        :class:`~repro.core.limits.BudgetExceeded` carrying structured
+        progress, except under graceful degradation: when the tripping
+        strategy was a rewrite method and either dispatch was ``"auto"``
+        or ``on_budget_exceeded="degrade"`` was passed, the compiled
+        semi-naive fallback retries once under the same meter (the
+        wall-clock deadline stays absolute; fact/tuple caps apply to the
+        retry's fresh counters) and the result is marked ``degraded``.
+        ``on_budget_exceeded="raise"`` disables degradation even for
+        auto.  Cancellation always propagates.  Budget options do not
+        participate in the memo key: a memo hit costs no evaluation, so
+        it is served regardless of the budget, and aborted or degraded
+        evaluations are never memoized.
         """
         query = self._as_query(query)
         if method not in SESSION_METHODS:
@@ -451,8 +491,38 @@ class Session:
                 f"unknown method {method!r}; expected one of "
                 f"{SESSION_METHODS}"
             )
+        if on_budget_exceeded not in (None, "degrade", "raise"):
+            raise ValueError(
+                f"unknown on_budget_exceeded policy "
+                f"{on_budget_exceeded!r}; expected 'degrade' or 'raise'"
+            )
         if use_planner is None:
             use_planner = self._use_planner
+        if budget is not None:
+            if (
+                timeout is not None
+                or max_facts is not None
+                or cancellation is not None
+            ):
+                raise ValueError(
+                    "pass budget=... or the individual timeout/max_facts/"
+                    "cancellation options, not both"
+                )
+        else:
+            fault_plan = FaultPlan.from_env()
+            if (
+                timeout is not None
+                or max_facts is not None
+                or cancellation is not None
+                or fault_plan is not None
+            ):
+                budget = EvaluationBudget(
+                    timeout=timeout,
+                    max_facts=max_facts,
+                    token=cancellation,
+                    fault_plan=fault_plan,
+                )
+        meter = budget.start() if budget is not None else None
         started = time.perf_counter()
         self._note_mutation()  # catch out-of-band database mutations
         version = self._memo_version
@@ -464,7 +534,6 @@ class Session:
             optimize,
             semijoin,
             max_iterations,
-            max_facts,
             use_planner,
             version,
         )
@@ -478,32 +547,62 @@ class Session:
                 elapsed=time.perf_counter() - started,
                 memo_hits=self.memo_hits,
                 memo_misses=self.memo_misses,
+                budget_spent=meter.spent() if meter is not None else None,
             )
         self.memo_misses += 1
         executed = method
-        if method == "auto":
-            executed, answer = self._execute_auto(
-                query,
-                engine,
-                mode,
-                optimize,
-                semijoin,
-                max_iterations,
-                max_facts,
-                use_planner,
+        degraded = False
+        try:
+            if method == "auto":
+                executed, answer = self._execute_auto(
+                    query,
+                    engine,
+                    mode,
+                    optimize,
+                    semijoin,
+                    max_iterations,
+                    use_planner,
+                    meter,
+                )
+            else:
+                answer = self._execute(
+                    query,
+                    method,
+                    engine,
+                    mode,
+                    optimize,
+                    semijoin,
+                    max_iterations,
+                    use_planner,
+                    meter,
+                )
+        except BudgetExceeded as exc:
+            fallback = self._degradation_fallback(
+                method, exc, on_budget_exceeded
             )
-        else:
+            if fallback is None:
+                raise
+            # retry once with compiled semi-naive under the same meter:
+            # the wall-clock deadline is absolute, fact/tuple caps apply
+            # to the retry's fresh statistics
             answer = self._execute(
                 query,
-                method,
+                fallback,
                 engine,
                 mode,
                 optimize,
                 semijoin,
                 max_iterations,
-                max_facts,
                 use_planner,
+                meter,
             )
+            executed = fallback
+            degraded = True
+        if meter is not None:
+            # install boundary: the last abort point before the answer
+            # is published and memoized -- an injected fault here must
+            # still leave the memo without the entry
+            meter.tick_install()
         result = QueryResult(
             rows=answer.answers,
             method=answer.strategy,
@@ -516,15 +615,40 @@ class Session:
             answer=answer,
             memo_hits=self.memo_hits,
             memo_misses=self.memo_misses,
+            degraded=degraded,
+            budget_spent=meter.spent() if meter is not None else None,
             _session=self,
         )
         assert executed != "auto"
-        self._memo[key] = self._slim_for_memo(result)
-        self._memo_footprints[key] = self._footprint_for(query, answer)
-        while len(self._memo) > self._memo_size:
-            evicted, _ = self._memo.popitem(last=False)
-            self._memo_footprints.pop(evicted, None)
+        if not degraded:
+            self._memo[key] = self._slim_for_memo(result)
+            self._memo_footprints[key] = self._footprint_for(query, answer)
+            while len(self._memo) > self._memo_size:
+                evicted, _ = self._memo.popitem(last=False)
+                self._memo_footprints.pop(evicted, None)
         return result
+
+    @staticmethod
+    def _degradation_fallback(
+        requested: str, exc: BudgetExceeded, policy: Optional[str]
+    ) -> Optional[str]:
+        """The method to retry with after a budget trip, or None.
+
+        Degradation applies only when the strategy that tripped was a
+        rewrite method (the fallback is a genuinely different plan;
+        re-running a tripped baseline would just trip again), and only
+        under auto-dispatch by default -- an explicitly requested
+        rewrite method degrades only with ``on_budget_exceeded=
+        "degrade"``.  ``"raise"`` disables degradation everywhere.
+        """
+        if policy == "raise":
+            return None
+        tripped = getattr(exc, "method", None)
+        if tripped not in REWRITE_METHODS or tripped == _AUTO_FALLBACK:
+            return None
+        if requested == "auto" or policy == "degrade":
+            return _AUTO_FALLBACK
+        return None
 
     @staticmethod
     def _slim_for_memo(result: QueryResult) -> QueryResult:
@@ -624,8 +748,8 @@ class Session:
         optimize,
         semijoin,
         max_iterations,
-        max_facts,
         use_planner,
+        meter=None,
     ) -> Tuple[str, QueryAnswer]:
         # the decision depends on the query signature AND the options
         # that feed the rewrite, so one option set cannot poison the
@@ -646,8 +770,8 @@ class Session:
                     optimize,
                     semijoin,
                     max_iterations,
-                    max_facts,
                     use_planner,
+                    meter,
                 )
             except _AUTO_PROGRAM_REJECTIONS:
                 choice = _AUTO_FALLBACK
@@ -667,8 +791,8 @@ class Session:
             optimize,
             semijoin,
             max_iterations,
-            max_facts,
             use_planner,
+            meter,
         )
         return choice, answer
 
@@ -681,12 +805,47 @@ class Session:
         optimize,
         semijoin,
         max_iterations,
-        max_facts,
         use_planner,
+        meter=None,
     ) -> QueryAnswer:
         """One evaluation, no memo: the consolidated dispatch that used
         to be duplicated across pipeline.answer_query, the CLI, and the
-        benchmark drivers."""
+        benchmark drivers.
+
+        A :class:`BudgetExceeded` escaping any path is tagged with the
+        method that tripped it, so the degradation policy upstream can
+        tell a tripped rewrite (worth retrying semi-naive) from a
+        tripped baseline (not worth retrying).
+        """
+        try:
+            return self._execute_inner(
+                query,
+                method,
+                engine,
+                mode,
+                optimize,
+                semijoin,
+                max_iterations,
+                use_planner,
+                meter,
+            )
+        except BudgetExceeded as exc:
+            if exc.method is None:
+                exc.method = method
+            raise
+
+    def _execute_inner(
+        self,
+        query,
+        method,
+        engine,
+        mode,
+        optimize,
+        semijoin,
+        max_iterations,
+        use_planner,
+        meter,
+    ) -> QueryAnswer:
         if method in ("naive", "seminaive"):
             return bottom_up_answer(
                 self._program,
@@ -694,9 +853,10 @@ class Session:
                 query,
                 method,
                 max_iterations,
-                max_facts,
+                None,
                 use_planner,
                 plan_cache=self._plan_cache,
+                meter=meter,
             )
         if method == "qsq":
             adorned = self._adorned_for(query)
@@ -705,9 +865,9 @@ class Session:
                 self._database,
                 adorned.query_literal,
                 max_iterations=max_iterations,
-                max_facts=max_facts,
                 use_planner=use_planner,
                 plan_cache=self._plan_cache,
+                meter=meter,
             )
             stats = EvaluationStats(
                 iterations=qsq.iterations,
@@ -730,9 +890,9 @@ class Session:
             seeded,
             method=engine,
             max_iterations=max_iterations,
-            max_facts=max_facts,
             use_planner=use_planner,
             plan_cache=self._plan_cache,
+            meter=meter,
         )
         return QueryAnswer(
             answers=rewritten.extract_answers(result),

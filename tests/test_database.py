@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro import Constant, Database, Literal, Relation, Variable
+from repro import (
+    Constant,
+    Database,
+    IntegrityError,
+    Literal,
+    Relation,
+    Variable,
+)
 
 
 def c(value):
@@ -58,6 +65,7 @@ class TestRelation:
         dup = rel.copy()
         dup.add((c("x"), c("y")))
         assert len(rel) == 1 and len(dup) == 2
+        assert rel.check_invariants() and dup.check_invariants()
 
     def test_copy_preserves_registered_indexes(self):
         """Regression: copy() used to drop registered indexes, so every
@@ -72,6 +80,7 @@ class TestRelation:
         dup.add((c("q"), c("b")))
         assert len(dup.lookup((1,), (c("b"),))) == 3
         assert len(rel.lookup((1,), (c("b"),))) == 2
+        assert rel.check_invariants() and dup.check_invariants()
 
     def test_copy_preserves_indexes_across_retraction(self):
         rel = Relation("par")
@@ -83,6 +92,7 @@ class TestRelation:
         dup.add((c("a"), c("x")))
         assert len(dup.lookup((0,), (c("a"),))) == 2
         assert len(rel.lookup((0,), (c("a"),))) == 1
+        assert rel.check_invariants() and dup.check_invariants()
 
 
 class TestLookupNormalization:
@@ -203,6 +213,7 @@ class TestRetraction:
         assert rel.discard((c("a"), c("b")))
         assert (c("a"), c("b")) not in rel
         assert len(rel) == 0
+        assert rel.check_invariants()
 
     def test_discard_absent_tuple(self):
         rel = Relation("par")
@@ -220,6 +231,7 @@ class TestRetraction:
         # the emptied bucket is dropped, not left as a stale empty list
         assert rel.discard((c("b"), c("y")))
         assert rel.lookup((0,), (c("b"),)) == []
+        assert rel.check_invariants()
 
     def test_discard_maintains_lazily_built_indexes(self):
         rel = Relation("par")
@@ -236,6 +248,7 @@ class TestRetraction:
         )
         assert removed == 2
         assert len(rel) == 1
+        assert rel.check_invariants()
 
     def test_database_retract_fact(self):
         db = Database()
@@ -243,6 +256,7 @@ class TestRetraction:
         assert db.retract_fact(Literal("par", (c("a"), c("b"))))
         assert not db.has_fact(Literal("par", (c("a"), c("b"))))
         assert not db.retract_fact(Literal("par", (c("a"), c("b"))))
+        assert db.check_integrity()
 
     def test_database_retract_fact_rejects_non_ground(self):
         db = Database()
@@ -259,6 +273,96 @@ class TestRetraction:
         db.add_values("par", [("a", "b"), ("b", "c")])
         assert db.retract_values("par", [("a", "b"), ("x", "y")]) == 1
         assert db.tuples("par") == {(c("b"), c("c"))}
+        assert db.check_integrity()
+
+
+class TestIntegrityOracle:
+    """check_invariants/check_integrity must catch deliberate corruption.
+
+    The fault-injection atomicity property (tests/test_limits.py) leans
+    on this oracle; these tests prove it is not vacuously true.
+    """
+
+    def fixture_relation(self):
+        rel = Relation("par")
+        rel.register_index((0,))
+        rel.add_many([(c("a"), c("b")), (c("a"), c("x")), (c("b"), c("y"))])
+        rel.discard((c("a"), c("x")))
+        assert rel.check_invariants()
+        return rel
+
+    def assert_trips(self, rel, invariant):
+        with pytest.raises(IntegrityError) as info:
+            rel.check_invariants()
+        assert info.value.invariant == invariant
+
+    def test_column_length_mismatch(self):
+        rel = self.fixture_relation()
+        rel._columns[1].append(0)
+        self.assert_trips(rel, "columns")
+
+    def test_term_row_memo_count_mismatch(self):
+        rel = self.fixture_relation()
+        rel._term_rows.pop()
+        self.assert_trips(rel, "term-rows")
+
+    def test_stale_term_row_memo(self):
+        rel = self.fixture_relation()
+        slot = next(iter(rel._rowmap.values()))
+        rel._term_rows[slot] = (c("zz"), c("zz"))
+        self.assert_trips(rel, "term-rows")
+
+    def test_tombstone_counter_drift(self):
+        rel = self.fixture_relation()
+        rel._dead += 1
+        self.assert_trips(rel, "tombstones")
+
+    def test_rowmap_points_at_dead_slot(self):
+        rel = self.fixture_relation()
+        slot = next(iter(rel._rowmap.values()))
+        rel._live[slot] = 0
+        rel._dead += 1
+        self.assert_trips(rel, "rowmap")
+
+    def test_rowmap_disagrees_with_columns(self):
+        rel = self.fixture_relation()
+        slot = next(iter(rel._rowmap.values()))
+        rel._columns[0][slot] = rel._columns[0][slot] + 10_000
+        self.assert_trips(rel, "rowmap")
+
+    def test_index_bucket_slot_out_of_range(self):
+        rel = self.fixture_relation()
+        index = rel._indexes[(0,)]
+        next(iter(index.values())).append(99)
+        self.assert_trips(rel, "index")
+
+    def test_index_misses_live_slot(self):
+        rel = self.fixture_relation()
+        index = rel._indexes[(0,)]
+        for bucket in index.values():
+            del bucket[:]
+        self.assert_trips(rel, "index")
+
+    def test_version_below_live_count(self):
+        rel = self.fixture_relation()
+        rel.version = 0
+        self.assert_trips(rel, "version")
+
+    def test_database_version_drift(self):
+        db = Database()
+        db.add_values("par", [("a", "b")])
+        db._version += 1
+        with pytest.raises(IntegrityError) as info:
+            db.check_integrity()
+        assert info.value.invariant == "version"
+
+    def test_database_owner_backreference(self):
+        db = Database()
+        db.add_values("par", [("a", "b")])
+        db.relation("par").owner = Database()
+        with pytest.raises(IntegrityError) as info:
+            db.check_integrity()
+        assert info.value.invariant == "owner"
 
 
 class TestVersionCounter:
@@ -338,3 +442,4 @@ class TestVersionCounter:
         dup.add_values("par", [("x", "y")])
         assert dup.version == db.version + 1
         assert db.version == 1
+        assert db.check_integrity() and dup.check_integrity()
