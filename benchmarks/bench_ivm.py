@@ -1,0 +1,289 @@
+"""Incremental view maintenance: delta passes vs cold re-evaluation.
+
+A :class:`repro.MaterializedProgram` keeps the derived relations of a
+stratified program materialized across mutations: asserts propagate by
+semi-naive delta rounds, retracts by exact counting (non-recursive
+strata) and DRed overdelete/rederive (recursive strata).  This bench
+records the headline economics -- a single-fact assert or retract costs
+work proportional to its *delta cone*, not to the database:
+
+* on an ancestor chain and a stratified BOM at depth >= 100, a
+  single-fact assert and retract are each >= 20x faster than a cold
+  re-evaluation of the program (the gate arms at depth >= 100 and can
+  be disarmed with ``BENCH_TIMING_STRICT=0`` for noisy runners);
+* a random assert/retract sweep agrees with the cold semi-naive oracle
+  after every pass (``check_consistency`` audits every derived
+  relation plus the counting bookkeeping);
+* an injected fault mid-maintenance aborts atomically: the source
+  database still passes ``check_integrity``, the view degrades to
+  stale, and the next pass rebuilds it.
+
+``IVM_BENCH_DEPTH`` shrinks the workload for CI smoke runs.
+"""
+
+import os
+import random
+import statistics
+import time
+
+from repro import (
+    EvaluationBudget,
+    FaultPlan,
+    InjectedFault,
+    MaterializedProgram,
+    evaluate_seminaive,
+)
+from repro.workloads import (
+    ancestor_program,
+    bom_database,
+    bom_program,
+    chain_database,
+)
+
+from conftest import print_table, record_bench
+
+DEPTH = int(os.environ.get("IVM_BENCH_DEPTH", "150"))
+#: the BOM chain runs deeper: its cold evaluation grows with the
+#: squared depth while a single-fact repair stays linear, so the extra
+#: depth is where the delta-proportionality gap becomes unambiguous
+BOM_DEPTH = int(os.environ.get("IVM_BENCH_BOM_DEPTH", str(DEPTH + 100)))
+COLD_REPEATS = 3
+MUTATION_REPEATS = 7
+
+#: the >=20x maintain/cold gates only arm on real workloads
+TIMING_STRICT = os.environ.get("BENCH_TIMING_STRICT", "1") != "0"
+SPEEDUP_GATE = 20
+
+
+def _median_cold(program, database):
+    seconds = []
+    for _ in range(COLD_REPEATS):
+        t0 = time.perf_counter()
+        evaluate_seminaive(program, database.copy())
+        seconds.append(time.perf_counter() - t0)
+    return statistics.median(seconds)
+
+
+def _median_maintained(mp, database, pred, row):
+    """Median maintain() seconds for asserting and retracting ``row``.
+
+    The fact is asserted and retracted alternately so every repetition
+    starts from the same materialized state; each direction's pass is
+    verified against the cold oracle on the first repetition.
+    """
+    assert_seconds, retract_seconds = [], []
+    for rep in range(MUTATION_REPEATS):
+        database.add_values(pred, [row])
+        t0 = time.perf_counter()
+        result = mp.maintain()
+        assert_seconds.append(time.perf_counter() - t0)
+        assert result.action == "maintained"
+        if rep == 0:
+            assert mp.check_consistency()
+        database.retract_values(pred, [row])
+        t0 = time.perf_counter()
+        result = mp.maintain()
+        retract_seconds.append(time.perf_counter() - t0)
+        assert result.action == "maintained"
+        if rep == 0:
+            assert mp.check_consistency()
+    return (
+        statistics.median(assert_seconds),
+        statistics.median(retract_seconds),
+    )
+
+
+def _report(workload, depth, cold, assert_s, retract_s, extra=None):
+    armed = TIMING_STRICT and depth >= 100
+    assert_x = cold / assert_s if assert_s else float("inf")
+    retract_x = cold / retract_s if retract_s else float("inf")
+    print_table(
+        f"incremental maintenance: {workload}, depth {depth}",
+        ["phase", "seconds", "speedup vs cold"],
+        [
+            ["cold re-evaluation", f"{cold:.6f}", "1x"],
+            ["assert + maintain", f"{assert_s:.6f}", f"{assert_x:.0f}x"],
+            ["retract + maintain", f"{retract_s:.6f}", f"{retract_x:.0f}x"],
+        ],
+    )
+    entry = {
+        "workload": workload,
+        "depth": depth,
+        "cold_seconds": round(cold, 6),
+        "assert_maintain_seconds": round(assert_s, 6),
+        "retract_maintain_seconds": round(retract_s, 6),
+        "assert_speedup": round(assert_x, 1),
+        "retract_speedup": round(retract_x, 1),
+        "gate_armed": armed,
+        "speedup_gate": SPEEDUP_GATE,
+    }
+    entry.update(extra or {})
+    record_bench(entry)
+    if armed:
+        assert assert_x >= SPEEDUP_GATE, (
+            f"{workload}: single-fact assert should maintain >= "
+            f"{SPEEDUP_GATE}x faster than cold, got {assert_x:.1f}x"
+        )
+        assert retract_x >= SPEEDUP_GATE, (
+            f"{workload}: single-fact retract should maintain >= "
+            f"{SPEEDUP_GATE}x faster than cold, got {retract_x:.1f}x"
+        )
+
+
+def test_ancestor_chain_single_fact_mutations(benchmark):
+    program = ancestor_program()
+    database = chain_database(DEPTH)
+    cold = _median_cold(program, database)
+    mp = MaterializedProgram(program, database)
+    assert_s, retract_s = _median_maintained(
+        mp, database, "par", ("m0", "n0")
+    )
+    _report(
+        "ancestor_chain",
+        DEPTH,
+        cold,
+        assert_s,
+        retract_s,
+        {"anc_rows": len(mp.tuples("anc"))},
+    )
+    mp.close()
+
+    def round_trip():
+        database.add_values("par", [("m0", "n0")])
+        fresh.maintain()
+        database.retract_values("par", [("m0", "n0")])
+        fresh.maintain()
+
+    fresh = MaterializedProgram(program, database)
+    benchmark(round_trip)
+    fresh.close()
+
+
+def test_stratified_bom_single_fact_mutations(benchmark):
+    program = bom_program()
+    database = bom_database(
+        depth=BOM_DEPTH, fanout=1, exception_rate=0.05, seed=7
+    )
+    cold = _median_cold(program, database)
+    mp = MaterializedProgram(program, database)
+    # a new assembly above the old root: its component cone is the
+    # whole chain, but strata are repaired by delta, not re-derived
+    assert_s, retract_s = _median_maintained(
+        mp, database, "subpart", ("m0", "p0")
+    )
+    _report(
+        "bom_stratified",
+        BOM_DEPTH,
+        cold,
+        assert_s,
+        retract_s,
+        {
+            "strata": 4,
+            "component_rows": len(mp.tuples("component")),
+        },
+    )
+    mp.close()
+
+    def round_trip():
+        database.add_values("subpart", [("m0", "p0")])
+        fresh.maintain()
+        database.retract_values("subpart", [("m0", "p0")])
+        fresh.maintain()
+
+    fresh = MaterializedProgram(program, database)
+    benchmark(round_trip)
+    fresh.close()
+
+
+def test_random_mutation_sweep_agrees_with_cold_oracle(benchmark):
+    """Maintained state == cold semi-naive after every random mutation."""
+    sweep_depth = min(DEPTH, 30)
+    program = bom_program()
+    database = bom_database(
+        depth=sweep_depth, fanout=1, exception_rate=0.1, seed=3
+    )
+    mp = MaterializedProgram(program, database)
+    rng = random.Random(11)
+    parts = [f"p{i}" for i in range(sweep_depth + 1)]
+    ops = 0
+    for _ in range(24):
+        pred, row = rng.choice(
+            [
+                ("subpart", (rng.choice(parts), rng.choice(parts))),
+                ("exception", (rng.choice(parts),)),
+                ("part", (rng.choice(parts),)),
+            ]
+        )
+        if rng.random() < 0.5:
+            database.add_values(pred, [row])
+        else:
+            database.retract_values(pred, [row])
+        mp.maintain()
+        assert mp.check_consistency(), (
+            f"maintained state diverged from the cold oracle "
+            f"after mutating {pred}{row}"
+        )
+        ops += 1
+    record_bench(
+        {
+            "workload": "bom_random_sweep",
+            "depth": sweep_depth,
+            "mutations": ops,
+            "oracle_agreement": True,
+            "passes": mp.passes,
+        }
+    )
+    mp.close()
+    benchmark(lambda: evaluate_seminaive(program, database.copy()))
+
+
+def test_fault_injected_abort_is_atomic(benchmark):
+    """An aborted pass leaves the database clean and the view healable."""
+    program = ancestor_program()
+    database = chain_database(min(DEPTH, 40))
+    mp = MaterializedProgram(program, database)
+    aborted = healed = 0
+    for after in (1, 2, 3, 5, 8):
+        database.add_values("par", [("m0", "n0")])
+        meter = EvaluationBudget(
+            fault_plan=FaultPlan("any", after)
+        ).start()
+        try:
+            mp.maintain(meter=meter)
+        except InjectedFault:
+            aborted += 1
+            assert mp.stale
+            assert database.check_integrity()
+            result = mp.maintain()  # stale pass rebuilds cold
+            assert result.action == "rebuilt"
+            healed += 1
+        assert mp.check_consistency()
+        assert database.check_integrity()
+        database.retract_values("par", [("m0", "n0")])
+        mp.maintain()
+        assert mp.check_consistency()
+    assert aborted > 0, "no fault boundary fired; widen the sweep"
+    record_bench(
+        {
+            "workload": "fault_injected_maintenance",
+            "boundaries_tried": 5,
+            "aborted": aborted,
+            "healed": healed,
+            "integrity_clean": True,
+        }
+    )
+    mp.close()
+
+    def abort_then_heal():
+        database.add_values("par", [("m0", "n0")])
+        meter = EvaluationBudget(fault_plan=FaultPlan("any", 2)).start()
+        try:
+            fresh.maintain(meter=meter)
+        except InjectedFault:
+            fresh.maintain()
+        database.retract_values("par", [("m0", "n0")])
+        fresh.maintain()
+
+    fresh = MaterializedProgram(program, database)
+    benchmark(abort_then_heal)
+    fresh.close()

@@ -104,7 +104,7 @@ def test_mutation_invalidates_then_rememoizes(benchmark):
     query = ancestor_query("n0")
 
     first, cold_seconds = _timed(lambda: session.query(query))
-    session.add_values("par", [(f"n{DEPTH}", "tail")])
+    session.assert_("par", f"n{DEPTH}", "tail")
     after_add, invalidated_seconds = _timed(lambda: session.query(query))
     assert not after_add.from_memo, "mutation must drop the memo"
     assert session.memo_invalidations >= 1
@@ -113,7 +113,7 @@ def test_mutation_invalidates_then_rememoizes(benchmark):
     hit, hit_seconds = _timed(lambda: session.query(query))
     assert hit.from_memo
 
-    session.retract_values("par", [(f"n{DEPTH}", "tail")])
+    session.retract("par", f"n{DEPTH}", "tail")
     after_retract, _ = _timed(lambda: session.query(query))
     assert not after_retract.from_memo
     assert after_retract.rows == first.rows

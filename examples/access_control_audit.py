@@ -36,32 +36,27 @@ def main() -> None:
         """
     )
 
-    session.add_values(
-        "granted",
-        [
+    with session.batch():
+        for user, role in [
             ("alice", "accountant"),
             ("bob", "intern"),
             ("carol", "cfo"),
-        ],
-    )
-    session.add_values(
-        "inherits",
-        [
+        ]:
+            session.assert_("granted", user, role)
+        for role, sub in [
             ("cfo", "controller"),
             ("controller", "accountant"),
             ("accountant", "clerk"),
             ("intern", "visitor"),
-        ],
-    )
-    session.add_values(
-        "permits",
-        [
+        ]:
+            session.assert_("inherits", role, sub)
+        for role, action, resource in [
             ("clerk", "read", "ledger"),
             ("accountant", "write", "ledger"),
             ("controller", "approve", "payments"),
             ("visitor", "read", "lobby_screen"),
-        ],
-    )
+        ]:
+            session.assert_("permits", role, action, resource)
 
     print("query: can(alice, A, Res)?")
     answer = session.query("can(alice, A, Res)?", method="magic")

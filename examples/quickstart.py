@@ -24,10 +24,10 @@ def main() -> None:
         """
     )
 
-    # a small genealogy: john's line plus an unrelated clan
-    session.add_values(
-        "par",
-        [
+    # a small genealogy: john's line plus an unrelated clan; a batch
+    # coalesces the asserts into one version step for any live views
+    with session.batch():
+        for parent, child in [
             ("john", "mary"),
             ("mary", "sue"),
             ("mary", "tom"),
@@ -38,8 +38,8 @@ def main() -> None:
             ("zeus", "athena"),
             ("ares", "eros"),
             ("athena", "erichthonius"),
-        ],
-    )
+        ]:
+            session.assert_("par", parent, child)
 
     print("query: anc(john, Y)?")
     print()
@@ -68,9 +68,9 @@ def main() -> None:
     assert again.from_memo and again.rows == auto.rows
 
     # 4. a new fact invalidates the memo; the next query re-evaluates
-    session.add("par(ann, zoe)")
+    session.assert_("par(ann, zoe)")
     fresh = session.query("anc(john, Y)?")
-    print("after add(par(ann, zoe)): from_memo =", fresh.from_memo)
+    print("after assert_(par(ann, zoe)): from_memo =", fresh.from_memo)
     assert not fresh.from_memo
     assert ("zoe",) in fresh.values()
 

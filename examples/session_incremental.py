@@ -54,7 +54,7 @@ def main() -> None:
     assert again.from_memo
 
     # a recall arrives: the cell is bad.  Everything containing it taints.
-    session.add("recalled(cell)")
+    session.assert_("recalled(cell)")
     after_recall = session.query(query)
     print()
     print("recall(cell) asserted  : version =", session.version)
@@ -77,6 +77,22 @@ def main() -> None:
     print()
     print("comp(drone, Q) via     :", closure.method)
     print("subparts of drone      :", sorted(v[0] for v in closure.values()))
+
+    # materialize the buildable view: evaluated once, then *maintained*
+    # by delta propagation -- each recall/replacement below costs work
+    # proportional to its change, not a re-evaluation
+    view = session.materialize(query)
+    with session.batch():  # one maintenance pass for both mutations
+        session.assert_("part", "spare_motor")
+        session.assert_("sub", "drone", "spare_motor")
+    served = session.query(query)
+    print()
+    print("materialized view      : maintained =", served.maintained)
+    print("buildable              :", sorted(v[0] for v in served.values()))
+    assert served.maintained and ("spare_motor",) in served.values()
+    session.retract("part", "spare_motor")
+    assert ("spare_motor",) not in view.rows.values()
+    view.drop()
 
     print()
     print("session counters       :", session.counters())

@@ -29,10 +29,14 @@ Quickstart::
         anc(X, Y) :- par(X, Y).
         anc(X, Y) :- par(X, Z), anc(Z, Y).
     ''')
-    session.add_values("par", [("john", "mary"), ("mary", "sue")])
+    session.assert_(["par(john, mary)", "par(mary, sue)"])
     result = session.query("anc(john, Y)?")   # method="auto"
     assert ("mary",) in result.values()
     assert session.query("anc(john, Y)?").from_memo
+
+    view = session.materialize("anc(X, Y)?")  # evaluate once...
+    session.assert_("par", "sue", "ann")      # ...maintain by deltas
+    assert ("john", "ann") in view.rows.values()
 """
 
 from .datalog import (
@@ -134,9 +138,14 @@ from .core import (
     supplementary_magic_rewrite,
     unwrap_values,
 )
+from .datalog.ivm import (
+    MaintenanceResult,
+    MaterializedProgram,
+)
 from .session import (
     BASELINE_METHODS,
     SESSION_METHODS,
+    MaterializedView,
     QueryResult,
     Session,
 )
@@ -181,6 +190,7 @@ __all__ = [
     "EvaluationBudget", "BudgetMeter", "BudgetExceeded",
     "EvaluationCancelled", "CancellationToken", "FaultPlan",
     "InjectedFault",
-    # session
+    # session + incremental view maintenance
     "Session", "QueryResult", "SESSION_METHODS", "BASELINE_METHODS",
+    "MaterializedView", "MaterializedProgram", "MaintenanceResult",
 ]

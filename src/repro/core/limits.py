@@ -238,6 +238,50 @@ class EvaluationBudget:
             )
         )
 
+    @classmethod
+    def from_options(
+        cls,
+        budget=None,
+        timeout=None,
+        max_facts=None,
+        cancellation=None,
+    ):
+        """Resolve one budget from per-call convenience options.
+
+        ``budget=`` wins and is mutually exclusive with the scalar
+        options; otherwise a budget is assembled from ``timeout`` /
+        ``max_facts`` / ``cancellation`` plus any ``REPRO_FAULT_INJECT``
+        fault plan in the environment.  Returns ``None`` when every
+        input is unset -- the caller runs ungoverned.  This is the one
+        assembly point shared by ``Session.query`` and the incremental
+        maintenance passes, so fault injection reaches both.
+        """
+        if budget is not None:
+            if (
+                timeout is not None
+                or max_facts is not None
+                or cancellation is not None
+            ):
+                raise ValueError(
+                    "pass budget=... or the individual timeout/max_facts/"
+                    "cancellation options, not both"
+                )
+            return budget
+        fault_plan = FaultPlan.from_env()
+        if (
+            timeout is None
+            and max_facts is None
+            and cancellation is None
+            and fault_plan is None
+        ):
+            return None
+        return cls(
+            timeout=timeout,
+            max_facts=max_facts,
+            token=cancellation,
+            fault_plan=fault_plan,
+        )
+
     def start(self):
         return BudgetMeter(self)
 

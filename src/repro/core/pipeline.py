@@ -173,7 +173,7 @@ def answer_query(
     timeout: Optional[float] = None,
     budget=None,
     on_budget_exceeded: Optional[str] = None,
-) -> QueryAnswer:
+):
     """Answer a query end to end (legacy one-shot shim).
 
     ``method`` is a rewrite method, one of the baselines --
@@ -199,6 +199,13 @@ def answer_query(
     cross-evaluation answer memo, cached rewrites); a one-shot call
     constructs an ephemeral session, so it pays the rewrite and the
     evaluation every time but still shares the process-wide plan cache.
+
+    Returns a :class:`repro.session.QueryResult` -- the same answer
+    type every Session path produces (memo hits, materialized views,
+    cold evaluations), so callers never branch on provenance.  The
+    legacy ``QueryAnswer`` attribute names (``answers``, ``strategy``,
+    ``rewritten``, ``evaluation``, ``qsq``) remain available as
+    properties on it.
     """
     from ..session import Session
 
@@ -209,7 +216,7 @@ def answer_query(
         sip_builder=sip_builder,
         plan_cache=plan_cache,
     )
-    result = session.query(
+    return session.query(
         query,
         method=method,
         engine=engine,
@@ -222,7 +229,6 @@ def answer_query(
         budget=budget,
         on_budget_exceeded=on_budget_exceeded,
     )
-    return result.answer
 
 
 def bottom_up_answer(

@@ -74,7 +74,7 @@ from .catalog import term_catalog
 from .errors import IntegrityError
 from .terms import Constant, Term
 
-__all__ = ["Relation", "Database", "FactTuple", "IdTuple"]
+__all__ = ["Relation", "Database", "FactTuple", "IdTuple", "MutationEntry"]
 
 FactTuple = Tuple[Term, ...]
 IdTuple = Tuple[int, ...]
@@ -152,6 +152,24 @@ class Relation:
         owner = self.owner
         if owner is not None:
             owner._version += count
+
+    def _capture(self, idrows: Iterable[IdTuple], sign: int) -> None:
+        """Append actual set changes to the owner's active mutation logs.
+
+        Called only for mutations that changed the tuple set (the same
+        condition that bumps :attr:`version`), so a log replays to the
+        exact net delta: no-op inserts and absent retracts never appear.
+        """
+        owner = self.owner
+        if owner is None:
+            return
+        logs = owner._mutation_logs
+        if not logs:
+            return
+        name = self.name
+        entries = [(name, idrow, sign) for idrow in idrows]
+        for log in logs:
+            log.extend(entries)
 
     # ------------------------------------------------------------------
     # insertion (term-level view)
@@ -233,6 +251,7 @@ class Relation:
         live.extend(b"\x01" * n_fresh)
         self._term_rows.extend(fresh_terms)
         self._bump(n_fresh)
+        self._capture(fresh_ids, 1)
         for positions, index in self._indexes.items():
             # specialized key construction: nearly all registered
             # indexes cover one or two positions
@@ -318,6 +337,7 @@ class Relation:
         live.extend(b"\x01" * n_fresh)
         self._term_rows.extend([None] * n_fresh)
         self._bump(n_fresh)
+        self._capture(fresh_rows, 1)
         for positions, index in self._indexes.items():
             if len(positions) == 1:
                 (p0,) = positions
@@ -353,6 +373,7 @@ class Relation:
         live.append(1)
         self._term_rows.append(term_row)
         self._bump(1)
+        self._capture((idrow,), 1)
         for positions, index in self._indexes.items():
             if len(positions) == 1:
                 key: IndexKey = idrow[positions[0]]
@@ -554,6 +575,11 @@ class Relation:
             return False
         return self._discard_id_row(idrow)
 
+    def discard_id_row(self, idrow: IdTuple) -> bool:
+        """Retract an already-interned ID row; returns True when it was
+        present (the ID-level twin of :meth:`discard`)."""
+        return self._discard_id_row(idrow)
+
     def _discard_id_row(self, idrow: IdTuple) -> bool:
         slot = self._rowmap.pop(idrow, None)
         if slot is None:
@@ -562,6 +588,7 @@ class Relation:
         self._term_rows[slot] = None
         self._dead += 1
         self._bump(1)
+        self._capture((idrow,), -1)
         if (
             self._dead >= _COMPACT_MIN_DEAD
             and self._dead > len(self._rowmap)
@@ -572,6 +599,36 @@ class Relation:
     def discard_many(self, rows: Iterable[Iterable[Term]]) -> int:
         """Retract many tuples; returns the number that were present."""
         return sum(1 for row in rows if self.discard(row))
+
+    def discard_id_rows(self, idrows: Iterable[IdTuple]) -> int:
+        """Retract many ID rows with one version bump and one capture.
+
+        Bulk twin of :meth:`discard_id_row` for the incremental
+        maintenance deletion phases, where per-row bookkeeping would
+        dominate small deltas.
+        """
+        rowmap = self._rowmap
+        live = self._live
+        term_rows = self._term_rows
+        gone = []
+        for idrow in idrows:
+            slot = rowmap.pop(idrow, None)
+            if slot is None:
+                continue
+            live[slot] = 0
+            term_rows[slot] = None
+            gone.append(idrow)
+        if not gone:
+            return 0
+        self._dead += len(gone)
+        self._bump(len(gone))
+        self._capture(gone, -1)
+        if (
+            self._dead >= _COMPACT_MIN_DEAD
+            and self._dead > len(self._rowmap)
+        ):
+            self._compact()
+        return len(gone)
 
     def _compact(self) -> None:
         """Drop tombstoned slots and rebuild columns and indexes."""
@@ -766,14 +823,47 @@ class Relation:
         return f"Relation({self.name!r}, {len(self)} tuples)"
 
 
+#: One captured mutation: ``(pred_key, id_row, +1 | -1)``.
+MutationEntry = Tuple[str, IdTuple, int]
+
+
 class Database:
     """A named collection of relations, keyed by predicate key."""
 
-    __slots__ = ("_relations", "_version")
+    __slots__ = ("_relations", "_version", "_mutation_logs")
 
     def __init__(self):
         self._relations: Dict[str, Relation] = {}
         self._version = 0
+        #: active mutation logs (incremental-view-maintenance capture):
+        #: every actual set change on an owned relation appends a
+        #: ``(pred_key, idrow, sign)`` entry to each
+        self._mutation_logs: Tuple[List[MutationEntry], ...] = ()
+
+    # ------------------------------------------------------------------
+    # mutation capture (incremental view maintenance)
+    # ------------------------------------------------------------------
+    def start_mutation_log(self) -> List[MutationEntry]:
+        """Begin capturing this database's mutations into a fresh log.
+
+        Returns the log: a plain list of ``(pred_key, idrow, sign)``
+        entries, appended to by every mutation that actually changes a
+        relation's tuple set (through *any* path -- the ``Database``
+        convenience methods, bulk relation inserts, or the ID-level
+        executor API).  No-op mutations are never recorded, so replaying
+        a log yields the exact net delta.  The caller owns the list (it
+        may drain it in place); call :meth:`stop_mutation_log` with the
+        same list to detach it.  Multiple concurrent logs are allowed.
+        """
+        log: List[MutationEntry] = []
+        self._mutation_logs = self._mutation_logs + (log,)
+        return log
+
+    def stop_mutation_log(self, log: List[MutationEntry]) -> None:
+        """Detach a log returned by :meth:`start_mutation_log`."""
+        self._mutation_logs = tuple(
+            active for active in self._mutation_logs if active is not log
+        )
 
     # ------------------------------------------------------------------
     # construction

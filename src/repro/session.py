@@ -48,7 +48,9 @@ Quickstart::
 from __future__ import annotations
 
 import time
+import warnings
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
@@ -57,7 +59,6 @@ from .core.limits import (
     BudgetExceeded,
     CancellationToken,
     EvaluationBudget,
-    FaultPlan,
 )
 from .core.pipeline import (
     REWRITE_METHODS,
@@ -81,14 +82,17 @@ from .datalog.errors import (
     SipValidationError,
     UnsupportedProgramError,
 )
+from .datalog.ivm import MaintenanceResult, MaterializedProgram
 from .datalog.parser import parse_literal, parse_program, parse_query
 from .datalog.planner import PlanCache, shared_plan_cache
-from .datalog.terms import Term
+from .datalog.terms import Term, Variable
 from .datalog.topdown import QSQResult, qsq_evaluate
+from .datalog.unify import match_sequences
 
 __all__ = [
     "Session",
     "QueryResult",
+    "MaterializedView",
     "SESSION_METHODS",
     "BASELINE_METHODS",
 ]
@@ -96,8 +100,12 @@ __all__ = [
 #: evaluation baselines answer_query/Session accept besides the rewrites
 BASELINE_METHODS = ("naive", "seminaive", "qsq")
 
-#: everything Session.query accepts for ``method``
-SESSION_METHODS = ("auto",) + REWRITE_METHODS + BASELINE_METHODS
+#: everything Session.query accepts for ``method``: the rewrites, the
+#: baselines, plus "materialized" (answer from a covering maintained
+#: view, never a fresh evaluation)
+SESSION_METHODS = (
+    ("auto",) + REWRITE_METHODS + BASELINE_METHODS + ("materialized",)
+)
 
 #: what ``method="auto"`` tries first -- on positive AND stratified
 #: programs (the conservative magic extension handles negation)
@@ -163,6 +171,12 @@ class QueryResult:
     memo_misses: int = 0
     degraded: bool = False
     budget_spent: Optional[Dict[str, object]] = None
+    #: True when the rows came from an incrementally maintained
+    #: materialized view rather than a fresh evaluation or the memo
+    maintained: bool = False
+    #: seconds the serving maintenance pass took (0.0 when the view was
+    #: already fresh, or when ``maintained`` is False)
+    maintenance_elapsed: float = 0.0
     _session: Optional["Session"] = field(
         default=None, repr=False, compare=False
     )
@@ -174,6 +188,31 @@ class QueryResult:
     @property
     def plan_cache_misses(self) -> int:
         return self.stats.plan_cache_misses if self.stats is not None else 0
+
+    # -- legacy QueryAnswer attribute names -----------------------------
+    # answer_query() used to return the evaluation-level QueryAnswer;
+    # now that QueryResult is the single answer type everywhere, the old
+    # attribute spellings stay available so callers never branch on
+    # which layer produced the result.
+    @property
+    def answers(self) -> Set[FactTuple]:
+        return self.rows
+
+    @property
+    def strategy(self) -> str:
+        return self.method
+
+    @property
+    def rewritten(self):
+        return self.answer.rewritten if self.answer is not None else None
+
+    @property
+    def evaluation(self):
+        return self.answer.evaluation if self.answer is not None else None
+
+    @property
+    def qsq(self):
+        return self.answer.qsq if self.answer is not None else None
 
     def values(self) -> Set[Tuple[object, ...]]:
         """Rows with plain Python values in place of Constants."""
@@ -211,6 +250,133 @@ def _mentioned_relations(program: Program, extra=()) -> frozenset:
     return frozenset(program.predicates()) | frozenset(extra)
 
 
+def _select_rows(database: Database, query_literal: Literal):
+    """Selection/projection of a query against materialized relations:
+    the bindings of the query's free positions (same shape the
+    evaluation paths produce via ``answer_tuples``)."""
+    free_positions = [
+        i
+        for i, arg in enumerate(query_literal.args)
+        if not arg.is_ground()
+    ]
+    answers: Set[FactTuple] = set()
+    for row in database.tuples(query_literal.pred_key):
+        if match_sequences(query_literal.args, row) is None:
+            continue
+        answers.add(tuple(row[i] for i in free_positions))
+    return answers
+
+
+class MaterializedView:
+    """A handle on incrementally maintained derived relations.
+
+    Obtained from :meth:`Session.materialize`; all views of one session
+    share a single :class:`~repro.datalog.ivm.MaterializedProgram`
+    (the program is evaluated once, then maintained by deltas), so a
+    view is cheap -- it records *which* predicates (or which query) it
+    serves and answers from the shared maintained state.
+
+    * ``view.rows`` -- a :class:`QueryResult` (``maintained=True``) for
+      the view's query, maintaining first when mutations are pending;
+    * ``view.version`` -- the database version the materialized state
+      is synchronized to;
+    * ``view.stale`` -- True when the state needs work before serving
+      (pending mutations, or a maintenance pass aborted mid-way);
+    * ``view.refresh()`` -- force maintenance now (a stale view is
+      re-evaluated cold), returning the
+      :class:`~repro.datalog.ivm.MaintenanceResult`;
+    * ``view.drop()`` -- unregister; dropping the last view closes the
+      shared materializer and stops delta capture.
+    """
+
+    def __init__(
+        self,
+        session: "Session",
+        predicates: Iterable[str],
+        query: Optional[Query] = None,
+    ):
+        self._session = session
+        #: the predicate keys this view covers (query answering through
+        #: the view requires the query predicate to be one of these)
+        self.predicates = frozenset(predicates)
+        #: the query this view answers, when created from one
+        self.query = query
+        self.dropped = False
+
+    def _materializer(self) -> MaterializedProgram:
+        if self.dropped or self._session._materializer is None:
+            raise ReproError("this MaterializedView has been dropped")
+        return self._session._materializer
+
+    @property
+    def version(self) -> int:
+        """Database version the materialized state reflects."""
+        return self._materializer().synced_version
+
+    @property
+    def stale(self) -> bool:
+        """True when serving would need maintenance first: mutations
+        are pending, or a prior maintenance pass aborted."""
+        m = self._materializer()
+        return m.stale or m.pending
+
+    @property
+    def rows(self) -> QueryResult:
+        """Answer the view's query from maintained state (maintaining
+        first if needed); a :class:`QueryResult` with
+        ``maintained=True``."""
+        return self._session._view_result(self, self._query_literal())
+
+    def refresh(self) -> MaintenanceResult:
+        """Run maintenance now.  Pending deltas are propagated; a stale
+        view is rebuilt by cold re-evaluation.  Propagates budget trips
+        and injected faults (unlike the implicit maintenance on
+        mutations, which degrades to staleness)."""
+        return self._materializer().maintain()
+
+    def drop(self) -> None:
+        """Unregister this view (idempotent)."""
+        if not self.dropped:
+            self.dropped = True
+            self._session._drop_view(self)
+
+    def tuples(self, pred_key: Optional[str] = None):
+        """Raw maintained tuples of one covered predicate."""
+        if pred_key is None:
+            if len(self.predicates) != 1:
+                raise ReproError(
+                    "this view covers several predicates; pass "
+                    f"tuples(pred_key) (one of {sorted(self.predicates)})"
+                )
+            (pred_key,) = self.predicates
+        if pred_key not in self.predicates:
+            raise ReproError(
+                f"predicate {pred_key!r} is not covered by this view"
+            )
+        return self._materializer().tuples(pred_key)
+
+    def _query_literal(self) -> Query:
+        if self.query is not None:
+            return self.query
+        if len(self.predicates) != 1:
+            raise ReproError(
+                "this view covers several predicates; use "
+                "session.query(...) or view.tuples(pred_key) instead of "
+                ".rows"
+            )
+        (pred_key,) = self.predicates
+        return self._session._all_free_query(pred_key)
+
+    def __repr__(self):
+        state = "dropped" if self.dropped else (
+            "stale" if self.stale else "fresh"
+        )
+        return (
+            f"MaterializedView({sorted(self.predicates)}, {state}, "
+            f"version={self._session._materializer.synced_version if self._session._materializer else '-'})"
+        )
+
+
 class Session:
     """A stateful query session over one program and one database.
 
@@ -221,14 +387,24 @@ class Session:
         session = Session(source)
         session = Session(program=program, database=db)
 
-    Facts can be asserted and retracted between queries (:meth:`add`,
-    :meth:`add_values`, :meth:`add_many`, :meth:`retract`,
-    :meth:`retract_values`); every mutation bumps the database version
-    and drops the memoized answers whose relation footprint it touches
-    (out-of-band mutations through direct ``Relation`` access drop all
-    of them).  ``session.query(...)`` accepts the query as text or as
-    a parsed :class:`Query`, and ``method`` as one of
-    :data:`SESSION_METHODS` (default ``"auto"``).
+    Facts are asserted and retracted between queries through
+    :meth:`assert_` and :meth:`retract` (one fact, an iterable of
+    facts, or ``(pred, *values)``; the pre-IVM names ``add`` /
+    ``add_facts`` / ``add_values`` / ``add_many`` / ``retract_facts`` /
+    ``retract_values`` / ``retract_many`` remain as deprecated
+    aliases); every mutation bumps the database version and drops the
+    memoized answers whose relation footprint it touches (out-of-band
+    mutations through direct ``Relation`` access drop all of them).
+    ``session.query(...)`` accepts the query as text or as a parsed
+    :class:`Query`, and ``method`` as one of :data:`SESSION_METHODS`
+    (default ``"auto"``).
+
+    :meth:`materialize` turns cold-per-mutation querying into
+    incremental view maintenance: derived relations are evaluated once
+    and then maintained by delta propagation on every assert/retract
+    (``with session.batch():`` coalesces N mutations into one pass),
+    and :meth:`query` answers from a covering fresh view before
+    consulting the memo.
     """
 
     def __init__(
@@ -283,6 +459,13 @@ class Session:
         self._auto_choice: Dict[tuple, str] = {}
         self._adorned: Dict[tuple, AdornedProgram] = {}
         self._rewritten: Dict[tuple, RewrittenProgram] = {}
+        #: one shared MaterializedProgram backs every live view; created
+        #: lazily by materialize(), closed when the last view drops
+        self._materializer: Optional[MaterializedProgram] = None
+        self._views: List["MaterializedView"] = []
+        #: nesting depth of ``with session.batch():`` -- mutations
+        #: inside a batch defer maintenance to batch exit
+        self._batch_depth = 0
 
     # ------------------------------------------------------------------
     # state
@@ -320,72 +503,152 @@ class Session:
     # ------------------------------------------------------------------
     # mutation (assertion / retraction)
     # ------------------------------------------------------------------
-    def add(self, fact: Union[str, Literal]) -> bool:
-        """Assert one ground fact (text like ``"par(a, b)"`` or a
-        Literal); returns True when it was new."""
-        fact = self._as_fact(fact)
+    def assert_(self, *args) -> Union[bool, int]:
+        """Assert facts; the one assertion entry point.
+
+        Three call shapes::
+
+            session.assert_("par(a, b)")          # one fact -> bool
+            session.assert_(literal)              # one Literal -> bool
+            session.assert_(["par(a, b)", lit])   # iterable -> count
+            session.assert_("par", "a", "b")      # (pred, *values) -> bool
+
+        Every shape bumps the database version (no-ops excepted: a
+        re-assert of a present fact leaves the version and the memo
+        untouched), drops the memo entries whose footprint it touches,
+        and -- when materialized views exist and no :meth:`batch` is
+        open -- triggers one incremental maintenance pass.
+        """
+        return self._mutate(True, args)
+
+    def retract(self, *args) -> Union[bool, int]:
+        """Retract facts; same call shapes as :meth:`assert_`.
+
+        A retract of an absent fact is a no-op: the version stays, the
+        memo stays, no maintenance runs.
+        """
+        return self._mutate(False, args)
+
+    def _mutate(self, asserting: bool, args: tuple) -> Union[bool, int]:
+        """The one dispatch point behind assert_/retract and every
+        deprecated alias."""
+        kind, payload = self._dispatch_mutation(args)
+        db = self._database
         self._note_mutation()  # reconcile out-of-band drift first
-        added = self._database.add_fact(fact)
-        self._note_mutation({fact.pred_key})
-        return added
+        if kind == "fact":
+            result: Union[bool, int] = (
+                db.add_fact if asserting else db.retract_fact
+            )(payload)
+            touched = {payload.pred_key}
+        elif kind == "facts":
+            result = (db.add_facts if asserting else db.retract_facts)(
+                payload
+            )
+            touched = {lit.pred_key for lit in payload}
+        else:  # one (pred, *values) row
+            pred_key, row = payload
+            result = bool(
+                (db.add_values if asserting else db.retract_values)(
+                    pred_key, [row]
+                )
+            )
+            touched = {pred_key}
+        self._note_mutation(touched)
+        self._after_mutation()
+        return result
+
+    @staticmethod
+    def _dispatch_mutation(args: tuple) -> Tuple[str, object]:
+        """Classify an assert_/retract argument list.
+
+        One str/Literal is a fact; one other argument is an iterable of
+        facts; two or more are ``(pred, *values)`` for a single row.
+        """
+        if not args:
+            raise ValueError(
+                "assert_/retract need a fact, an iterable of facts, or "
+                "(pred, *values)"
+            )
+        if len(args) == 1:
+            arg = args[0]
+            if isinstance(arg, (str, Literal)):
+                return "fact", Session._as_fact(arg)
+            return "facts", [Session._as_fact(fact) for fact in arg]
+        pred_key = args[0]
+        if not isinstance(pred_key, str):
+            raise ValueError(
+                "the (pred, *values) form needs a predicate name first, "
+                f"got {pred_key!r}"
+            )
+        return "values", (pred_key, tuple(args[1:]))
+
+    def _mutate_rows(
+        self, asserting: bool, pred_key: str, rows, typed: bool
+    ) -> int:
+        """Bulk per-predicate path kept for the deprecated aliases."""
+        db = self._database
+        if typed:
+            fn = db.add_tuples if asserting else db.retract_tuples
+        else:
+            fn = db.add_values if asserting else db.retract_values
+        self._note_mutation()
+        count = fn(pred_key, rows)
+        self._note_mutation({pred_key})
+        self._after_mutation()
+        return count
+
+    # -- deprecated aliases (the pre-IVM mutation surface) --------------
+    @staticmethod
+    def _deprecated(old: str, new: str) -> None:
+        warnings.warn(
+            f"Session.{old}() is deprecated; use Session.{new}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def add(self, fact: Union[str, Literal]) -> bool:
+        """Deprecated alias for :meth:`assert_` on one fact."""
+        self._deprecated("add", "assert_(fact)")
+        return self.assert_(fact)
 
     def add_facts(self, facts: Iterable[Union[str, Literal]]) -> int:
-        literals = [self._as_fact(fact) for fact in facts]
-        self._note_mutation()
-        count = self._database.add_facts(literals)
-        self._note_mutation({lit.pred_key for lit in literals})
-        return count
+        """Deprecated alias for :meth:`assert_` on an iterable."""
+        self._deprecated("add_facts", "assert_(facts)")
+        return self.assert_(list(facts))
 
     def add_values(
         self, pred_key: str, rows: Iterable[Iterable[object]]
     ) -> int:
-        """Assert rows of raw Python values under one predicate."""
-        self._note_mutation()
-        count = self._database.add_values(pred_key, rows)
-        self._note_mutation({pred_key})
-        return count
+        """Deprecated alias: assert rows of raw values under one
+        predicate (``assert_(pred, *values)`` per row)."""
+        self._deprecated("add_values", "assert_(pred, *values)")
+        return self._mutate_rows(True, pred_key, rows, typed=False)
 
     def add_many(
         self, pred_key: str, rows: Iterable[Iterable[Term]]
     ) -> int:
-        """Assert rows of ground Terms under one predicate."""
-        self._note_mutation()
-        count = self._database.add_tuples(pred_key, rows)
-        self._note_mutation({pred_key})
-        return count
-
-    def retract(self, fact: Union[str, Literal]) -> bool:
-        """Retract one ground fact; returns True when it was present."""
-        fact = self._as_fact(fact)
-        self._note_mutation()
-        removed = self._database.retract_fact(fact)
-        self._note_mutation({fact.pred_key})
-        return removed
+        """Deprecated alias: assert rows of ground Terms."""
+        self._deprecated("add_many", "assert_(pred, *values)")
+        return self._mutate_rows(True, pred_key, rows, typed=True)
 
     def retract_facts(self, facts: Iterable[Union[str, Literal]]) -> int:
-        literals = [self._as_fact(fact) for fact in facts]
-        self._note_mutation()
-        count = self._database.retract_facts(literals)
-        self._note_mutation({lit.pred_key for lit in literals})
-        return count
+        """Deprecated alias for :meth:`retract` on an iterable."""
+        self._deprecated("retract_facts", "retract(facts)")
+        return self.retract(list(facts))
 
     def retract_values(
         self, pred_key: str, rows: Iterable[Iterable[object]]
     ) -> int:
-        """Retract rows of raw Python values under one predicate."""
-        self._note_mutation()
-        count = self._database.retract_values(pred_key, rows)
-        self._note_mutation({pred_key})
-        return count
+        """Deprecated alias: retract rows of raw values."""
+        self._deprecated("retract_values", "retract(pred, *values)")
+        return self._mutate_rows(False, pred_key, rows, typed=False)
 
     def retract_many(
         self, pred_key: str, rows: Iterable[Iterable[Term]]
     ) -> int:
-        """Retract rows of ground Terms under one predicate."""
-        self._note_mutation()
-        count = self._database.retract_tuples(pred_key, rows)
-        self._note_mutation({pred_key})
-        return count
+        """Deprecated alias: retract rows of ground Terms."""
+        self._deprecated("retract_many", "retract(pred, *values)")
+        return self._mutate_rows(False, pred_key, rows, typed=True)
 
     @staticmethod
     def _as_fact(fact: Union[str, Literal]) -> Literal:
@@ -437,6 +700,180 @@ class Session:
         self._memo = survivors
         self._memo_footprints = footprints
         self._memo_version = version
+
+    # ------------------------------------------------------------------
+    # materialized views (incremental maintenance)
+    # ------------------------------------------------------------------
+    def materialize(
+        self,
+        target: Union[str, Query, Iterable[str], None] = None,
+    ) -> MaterializedView:
+        """Materialize derived relations and maintain them by deltas.
+
+        ``target`` is a query (text ending in ``?`` or a parsed
+        :class:`Query`), one predicate name, an iterable of predicate
+        names, or None for every derived predicate.  The first call
+        evaluates the program once (compiled stratified semi-naive) and
+        starts relation-level delta capture; later mutations propagate
+        through per-stratum delta rules instead of re-evaluating --
+        counting-based deletion on non-recursive strata, DRed on
+        recursive ones.  Subsequent views share that state.
+
+        ``session.query()`` answers from a covering fresh view before
+        consulting the memo; see :class:`MaterializedView` for the
+        handle's surface.
+        """
+        query: Optional[Query] = None
+        if target is None:
+            self._ensure_materializer()
+            predicates = frozenset(self._materializer.derived_keys)
+        elif isinstance(target, Query):
+            query = target
+            predicates = frozenset((target.literal.pred_key,))
+        elif isinstance(target, str):
+            text = target.strip()
+            if text.endswith("?"):
+                query = parse_query(text)
+                predicates = frozenset((query.literal.pred_key,))
+            else:
+                predicates = frozenset((text,))
+        else:
+            predicates = frozenset(target)
+        known = _mentioned_relations(self._program) | frozenset(
+            self._database.predicate_keys()
+        )
+        unknown = predicates - known
+        if unknown:
+            raise ReproError(
+                f"cannot materialize unknown predicate(s) "
+                f"{sorted(unknown)}; the program and database mention "
+                f"{sorted(known)}"
+            )
+        self._ensure_materializer()
+        view = MaterializedView(self, predicates, query)
+        self._views.append(view)
+        return view
+
+    def _ensure_materializer(self) -> MaterializedProgram:
+        if self._materializer is None:
+            self._materializer = MaterializedProgram(
+                self._program,
+                self._database,
+                plan_cache=self._plan_cache,
+            )
+        return self._materializer
+
+    def _drop_view(self, view: MaterializedView) -> None:
+        self._views = [v for v in self._views if v is not view]
+        if not self._views and self._materializer is not None:
+            self._materializer.close()
+            self._materializer = None
+
+    @contextmanager
+    def batch(self):
+        """Batch mutations into one maintenance pass.
+
+        Inside ``with session.batch():`` asserts and retracts apply to
+        the database (version bumps, memo invalidation) but view
+        maintenance is deferred; on exit the accumulated delta
+        propagates in a single pass.  Nesting is allowed -- the
+        outermost exit maintains.
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0:
+                self._maintain_views()
+
+    def _after_mutation(self) -> None:
+        """Hook every Session-mediated mutation ends with: keep live
+        views fresh, unless a batch is open."""
+        if self._batch_depth == 0:
+            self._maintain_views()
+
+    def _maintain_views(self) -> None:
+        """One incremental maintenance pass over the shared state.
+
+        Runs under any ``REPRO_FAULT_INJECT`` fault plan in the
+        environment.  An aborted pass (budget trip, injected fault) is
+        swallowed: ``MaterializedProgram.maintain`` has already marked
+        the state stale and discarded the partial pass, so queries fall
+        back to cold evaluation until :meth:`MaterializedView.refresh`
+        or a later successful pass heals it.
+        """
+        m = self._materializer
+        if m is None or not self._views:
+            return
+        if not (m.pending or m.stale):
+            return
+        budget = EvaluationBudget.from_options()
+        meter = budget.start() if budget is not None else None
+        try:
+            m.maintain(meter=meter)
+        except ReproError:
+            pass  # state is stale; cold queries still answer correctly
+
+    def _all_free_query(self, pred_key: str) -> Query:
+        """An all-free query literal for a predicate (for view.rows)."""
+        arity = None
+        for rule in self._program.rules:
+            if rule.head.pred_key == pred_key:
+                arity = len(rule.head.args)
+                break
+        if arity is None:
+            rel = self._database.get(pred_key)
+            arity = rel.arity if rel is not None else None
+            if arity is None:
+                raise ReproError(
+                    f"cannot infer the arity of {pred_key!r}: no rule "
+                    "defines it and no facts exist under it"
+                )
+        args = tuple(Variable(f"V{i}") for i in range(arity))
+        return Query(Literal(pred_key, args))
+
+    def _view_result(
+        self,
+        view: MaterializedView,
+        query: Query,
+        meter=None,
+        started: Optional[float] = None,
+        requested_method: str = "materialized",
+    ) -> QueryResult:
+        """Serve a query from the maintained state (maintaining first
+        when mutations are pending or the state is stale)."""
+        if started is None:
+            started = time.perf_counter()
+        m = view._materializer()
+        maintenance_elapsed = 0.0
+        if m.stale or m.pending:
+            m.maintain(meter=meter)
+            maintenance_elapsed = m.last_elapsed
+        rows = _select_rows(m.working, query.literal)
+        return QueryResult(
+            rows=rows,
+            method="materialized",
+            requested_method=requested_method,
+            query=query,
+            from_memo=False,
+            db_version=m.synced_version,
+            elapsed=time.perf_counter() - started,
+            stats=None,
+            memo_hits=self.memo_hits,
+            memo_misses=self.memo_misses,
+            maintained=True,
+            maintenance_elapsed=maintenance_elapsed,
+            _session=self,
+        )
+
+    def _view_covering(self, query: Query) -> Optional[MaterializedView]:
+        """The first live view whose predicates cover the query."""
+        pred_key = query.literal.pred_key
+        for view in self._views:
+            if not view.dropped and pred_key in view.predicates:
+                return view
+        return None
 
     # ------------------------------------------------------------------
     # querying
@@ -498,33 +935,43 @@ class Session:
             )
         if use_planner is None:
             use_planner = self._use_planner
-        if budget is not None:
-            if (
-                timeout is not None
-                or max_facts is not None
-                or cancellation is not None
-            ):
-                raise ValueError(
-                    "pass budget=... or the individual timeout/max_facts/"
-                    "cancellation options, not both"
-                )
-        else:
-            fault_plan = FaultPlan.from_env()
-            if (
-                timeout is not None
-                or max_facts is not None
-                or cancellation is not None
-                or fault_plan is not None
-            ):
-                budget = EvaluationBudget(
-                    timeout=timeout,
-                    max_facts=max_facts,
-                    token=cancellation,
-                    fault_plan=fault_plan,
-                )
+        budget = EvaluationBudget.from_options(
+            budget=budget,
+            timeout=timeout,
+            max_facts=max_facts,
+            cancellation=cancellation,
+        )
         meter = budget.start() if budget is not None else None
         started = time.perf_counter()
         self._note_mutation()  # catch out-of-band database mutations
+        # -- materialized-view fast path: a covering fresh view answers
+        # before the memo is even consulted (the view IS the cache, and
+        # unlike the memo it survives mutations by delta maintenance)
+        view = self._view_covering(query) if self._views else None
+        if method == "materialized":
+            if view is None:
+                raise ReproError(
+                    "method='materialized' needs a covering view; call "
+                    "session.materialize(...) first"
+                )
+            return self._view_result(view, query, meter, started, method)
+        if view is not None and method == "auto":
+            m = self._materializer
+            if m is not None and not m.stale:
+                if not m.pending:
+                    return self._view_result(
+                        view, query, meter, started, method
+                    )
+                if self._batch_depth == 0:
+                    try:
+                        return self._view_result(
+                            view, query, meter, started, method
+                        )
+                    except ReproError:
+                        # the serving maintenance pass aborted (budget
+                        # trip / injected fault): the state is stale
+                        # now, answer cold below
+                        pass
         version = self._memo_version
         key = (
             query,

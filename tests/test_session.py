@@ -264,14 +264,27 @@ class TestMemo:
 
 
 class TestInvalidation:
+    #: every call shape of the unified assert_/retract surface
     MUTATIONS = {
+        "assert_fact": lambda s: s.assert_("par(ann, zoe)"),
+        "assert_literal": lambda s: s.assert_(
+            parse_query("par(ann, zoe)?").literal
+        ),
+        "assert_iterable": lambda s: s.assert_(["par(ann, zoe)"]),
+        "assert_row": lambda s: s.assert_("par", "ann", "zoe"),
+        "retract_fact": lambda s: s.retract("par(sue, ann)"),
+        "retract_iterable": lambda s: s.retract(["par(sue, ann)"]),
+        "retract_row": lambda s: s.retract("par", "sue", "ann"),
+    }
+
+    #: the pre-IVM names, kept as deprecated aliases
+    DEPRECATED = {
         "add": lambda s: s.add("par(ann, zoe)"),
         "add_facts": lambda s: s.add_facts(["par(ann, zoe)"]),
         "add_values": lambda s: s.add_values("par", [("ann", "zoe")]),
         "add_many": lambda s: s.add_many(
             "par", [parse_query("par(ann, zoe)?").literal.args]
         ),
-        "retract": lambda s: s.retract("par(sue, ann)"),
         "retract_facts": lambda s: s.retract_facts(["par(sue, ann)"]),
         "retract_values": lambda s: s.retract_values(
             "par", [("sue", "ann")]
@@ -295,13 +308,45 @@ class TestInvalidation:
         result = session.query("anc(john, X)?")
         assert not result.from_memo
 
+    @pytest.mark.parametrize("alias", sorted(DEPRECATED))
+    def test_deprecated_alias_warns_and_still_mutates(self, alias):
+        session = ancestor_session()
+        before = session.version
+        with pytest.warns(DeprecationWarning, match=f"Session.{alias}"):
+            changed = self.DEPRECATED[alias](session)
+        assert changed in (True, 1)
+        assert session.version > before
+
+    def test_bad_mutation_shapes_are_rejected(self):
+        session = ancestor_session()
+        with pytest.raises(ValueError):
+            session.assert_()
+        with pytest.raises(ValueError):
+            session.retract(parse_query("par(a, b)?").literal, "extra")
+
     def test_noop_mutation_keeps_memo(self):
         session = ancestor_session()
         first = session.query("anc(john, X)?")
-        assert not session.add("par(john, mary)")  # already present
+        assert not session.assert_("par(john, mary)")  # already present
         assert not session.retract("par(zeus, ares)")  # never present
         again = session.query("anc(john, X)?")
         assert again.from_memo and again.rows == first.rows
+
+    def test_noop_mutation_keeps_version_and_footprint_entries(self):
+        # regression for the memo/version interaction: a retract of an
+        # absent fact or a re-assert of a present one must not bump
+        # Database.version nor invalidate footprint-matching entries
+        session = ancestor_session()
+        session.query("anc(john, X)?")
+        version = session.version
+        invalidations = session.memo_invalidations
+        assert not session.assert_("par", "john", "mary")  # present
+        assert not session.retract("par", "zeus", "ares")  # absent
+        assert not session.retract("anc(zeus, ares)")      # absent
+        assert session.version == version
+        assert len(session._memo) == 1
+        assert session.memo_invalidations == invalidations
+        assert session.query("anc(john, X)?").from_memo
 
     def test_out_of_band_database_mutation_is_detected(self):
         # mutations that bypass the Session entirely (direct Relation
@@ -325,7 +370,7 @@ class TestInvalidation:
             "anc(john, X)?", method=engine, use_planner=use_planner
         )
         assert trimmed.values() == {("mary",), ("sue",)}
-        assert session.add("par(sue, ann)")
+        assert session.assert_("par(sue, ann)")
         restored = session.query(
             "anc(john, X)?", method=engine, use_planner=use_planner
         )
@@ -382,7 +427,7 @@ class TestFootprintInvalidation:
     def test_disjoint_mutation_keeps_entry(self, method):
         session = Session(TWO_CONES)
         cold = session.query("anc(john, X)?", method=method)
-        session.add("knows(a, c)")  # outside the anc footprint
+        session.assert_("knows(a, c)")  # outside the anc footprint
         hit = session.query("anc(john, X)?", method=method)
         assert hit.from_memo
         assert hit.rows == cold.rows
@@ -393,7 +438,7 @@ class TestFootprintInvalidation:
     def test_intersecting_mutation_drops_entry(self):
         session = Session(TWO_CONES)
         session.query("anc(john, X)?")
-        session.add("par(sue, ann)")  # inside the anc footprint
+        session.assert_("par(sue, ann)")  # inside the anc footprint
         result = session.query("anc(john, X)?")
         assert not result.from_memo
         assert ("ann",) in result.values()
@@ -434,7 +479,7 @@ class TestFootprintInvalidation:
     def test_counters_expose_partial_invalidations(self):
         session = Session(TWO_CONES)
         session.query("anc(john, X)?")
-        session.add("knows(a, c)")
+        session.assert_("knows(a, c)")
         assert (
             session.counters()["memo_partial_invalidations"] == 1
         )
@@ -544,7 +589,7 @@ class TestRewriteCaches:
         session.query("anc(john, X)?", method="supplementary_magic")
         assert len(session._rewritten) == 1
         cached = next(iter(session._rewritten.values()))
-        session.add("par(ann, zoe)")  # drops the memo, not the rewrite
+        session.assert_("par(ann, zoe)")  # drops the memo, not the rewrite
         session.query("anc(john, X)?", method="supplementary_magic")
         assert next(iter(session._rewritten.values())) is cached
 
@@ -552,7 +597,7 @@ class TestRewriteCaches:
         session = ancestor_session()
         session.query("anc(john, X)?", method="qsq")
         assert len(session._adorned) == 1
-        session.add("par(ann, zoe)")
+        session.assert_("par(ann, zoe)")
         result = session.query("anc(john, X)?", method="qsq")
         assert len(session._adorned) == 1
         assert ("zoe",) in result.values()
