@@ -1,0 +1,334 @@
+"""Serving benchmark: sustained mixed read/write traffic (repro serve).
+
+Measures queries/sec through the in-process server for the four
+serving modes -- cold evaluation, memo hit, coalesced wait, and
+view-served selection -- then runs a sustained mixed read/write
+workload over TCP and reports the blend.  Two gates:
+
+* **Coalescing**: N >= 8 identical concurrent cold queries perform
+  exactly one evaluation (asserted on the server's own counters, so
+  it cannot pass by timing luck).
+* **Readers never block on the writer**: reader p95 latency under
+  continuous write load stays within 2x the idle p95 (wall-clock;
+  ``BENCH_TIMING_STRICT=0`` disarms on noisy shared runners -- the
+  coalescing and correctness gates stay armed).
+
+``BENCH_SERVER_DEPTH`` scales the ancestor-chain workload (default
+60; CI smoke uses a small depth).  Emits ``BENCH_server.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from conftest import print_table, record_bench
+
+from repro.server import ReproClient, ServerConfig, ServerHandle
+
+TIMING_STRICT = os.environ.get("BENCH_TIMING_STRICT", "1") != "0"
+DEPTH = int(os.environ.get("BENCH_SERVER_DEPTH", "60"))
+
+RULES = (
+    "anc(X, Y) :- par(X, Y).\n"
+    "anc(X, Z) :- par(X, Y), anc(Y, Z).\n"
+)
+
+
+def chain_source(depth: int) -> str:
+    facts = "".join(
+        f"par(n{i}, n{i + 1}).\n" for i in range(depth)
+    )
+    return RULES + facts
+
+
+def p95(latencies):
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(0.95 * (len(ordered) - 1)))]
+
+
+def test_serving_mode_throughput():
+    """qps for cold vs memo-hit vs view-served (same query stream)."""
+    n = DEPTH  # served results are memoized, so cold/view need distinct keys
+
+    # cold: distinct selective queries, every one a fresh evaluation
+    with ServerHandle.start(chain_source(DEPTH)) as handle:
+        started = time.perf_counter()
+        for i in range(n):
+            out = handle.request(
+                {"op": "query", "query": f"anc(n{i}, X)?"}
+            )
+            assert out["ok"], out
+        cold_qps = n / (time.perf_counter() - started)
+        stats = handle.stats()
+        assert stats["cold_evaluations"] == n
+
+    # memo: one query repeated -- after the first, pure cache hits
+    with ServerHandle.start(chain_source(DEPTH)) as handle:
+        handle.request({"op": "query", "query": "anc(n0, X)?"})
+        started = time.perf_counter()
+        for _ in range(n):
+            out = handle.request({"op": "query", "query": "anc(n0, X)?"})
+            assert out["served"] == "memo"
+        memo_qps = n / (time.perf_counter() - started)
+
+    # view: maintained materialization serves by selection
+    with ServerHandle.start(
+        chain_source(DEPTH), materialize=["anc"]
+    ) as handle:
+        started = time.perf_counter()
+        for i in range(n):
+            out = handle.request(
+                {"op": "query", "query": f"anc(n{i}, X)?"}
+            )
+            assert out["served"] == "view", out
+        view_qps = n / (time.perf_counter() - started)
+
+    print_table(
+        f"serving throughput (ancestor depth={DEPTH}, {n} queries/mode)",
+        ["mode", "queries/sec"],
+        [
+            ["cold", f"{cold_qps:.0f}"],
+            ["memo-hit", f"{memo_qps:.0f}"],
+            ["view-served", f"{view_qps:.0f}"],
+        ],
+    )
+    record_bench(
+        {
+            "depth": DEPTH,
+            "queries_per_mode": n,
+            "cold_qps": cold_qps,
+            "memo_qps": memo_qps,
+            "view_qps": view_qps,
+        }
+    )
+    if TIMING_STRICT:
+        # caches must beat cold evaluation
+        assert memo_qps > cold_qps
+        assert view_qps > cold_qps
+
+
+def test_coalescing_gate():
+    """N identical concurrent cold queries -> exactly 1 evaluation."""
+    n = 12
+    with ServerHandle.start(
+        chain_source(DEPTH), config=ServerConfig(reader_threads=4)
+    ) as handle:
+        barrier = threading.Barrier(n)
+        results = [None] * n
+
+        def fire(i):
+            barrier.wait()
+            results[i] = handle.request(
+                {"op": "query", "query": "anc(n0, X)?"}
+            )
+
+        started = time.perf_counter()
+        threads = [
+            threading.Thread(target=fire, args=(i,)) for i in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - started
+        stats = handle.stats()
+        rows = {tuple(map(tuple, r["rows"])) for r in results}
+    assert all(r["ok"] for r in results)
+    assert len(rows) == 1  # every waiter got the shared answer
+    assert stats["cold_evaluations"] == 1, stats
+    assert stats["coalesced"] + stats["memo_hits"] == n - 1
+    print_table(
+        f"coalescing ({n} identical concurrent cold queries)",
+        ["evaluations", "coalesced", "memo_hits", "wall clock (s)"],
+        [[
+            stats["cold_evaluations"],
+            stats["coalesced"],
+            stats["memo_hits"],
+            f"{elapsed:.4f}",
+        ]],
+    )
+    record_bench(
+        {
+            "concurrent_identical": n,
+            "evaluations": stats["cold_evaluations"],
+            "coalesced": stats["coalesced"],
+            "memo_hits": stats["memo_hits"],
+        }
+    )
+
+
+def _reader_latencies(handle, rounds, salt):
+    latencies = []
+    for i in range(rounds):
+        started = time.perf_counter()
+        out = handle.request(
+            {"op": "query", "query": f"anc(n{(i * 7 + salt) % DEPTH}, X)?"}
+        )
+        latencies.append(time.perf_counter() - started)
+        assert out["ok"], out
+    return latencies
+
+
+def test_readers_do_not_block_on_writer():
+    """Reader p95 under continuous write load <= 2x idle p95.
+
+    Readers run against pinned snapshots; the writer publishes new
+    versions concurrently.  Each reader query is distinct and cold in
+    both phases (writes keep bumping the version, so nothing is ever
+    memo-served in the loaded phase; the idle phase uses distinct
+    queries for the same reason).
+    """
+    rounds = 50
+    with ServerHandle.start(chain_source(DEPTH)) as handle:
+        idle = _reader_latencies(handle, rounds, salt=0)
+
+        stop = threading.Event()
+
+        def writer():
+            step = 0
+            while not stop.is_set():
+                handle.request(
+                    {"op": "assert", "facts": [f"par(w{step}, w{step + 1})."]}
+                )
+                step += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            loaded = _reader_latencies(handle, rounds, salt=1)
+        finally:
+            stop.set()
+            thread.join()
+        stats = handle.stats()
+
+    idle_p95 = p95(idle)
+    loaded_p95 = p95(loaded)
+    ratio = loaded_p95 / idle_p95 if idle_p95 > 0 else 1.0
+    print_table(
+        f"reader latency under write load (depth={DEPTH}, "
+        f"{rounds} reads/phase)",
+        ["phase", "p50 (ms)", "p95 (ms)"],
+        [
+            ["idle", f"{sorted(idle)[len(idle) // 2] * 1e3:.2f}",
+             f"{idle_p95 * 1e3:.2f}"],
+            ["write load", f"{sorted(loaded)[len(loaded) // 2] * 1e3:.2f}",
+             f"{loaded_p95 * 1e3:.2f}"],
+        ],
+    )
+    record_bench(
+        {
+            "depth": DEPTH,
+            "rounds": rounds,
+            "idle_p95_s": idle_p95,
+            "loaded_p95_s": loaded_p95,
+            "ratio": ratio,
+            "versions_published": stats["snapshots_published"],
+            "timing_strict": TIMING_STRICT,
+        }
+    )
+    assert stats["snapshots_published"] > 1  # the writer really ran
+    if TIMING_STRICT:
+        assert ratio <= 2.0, (
+            f"reader p95 under write load {loaded_p95 * 1e3:.2f}ms is "
+            f"{ratio:.2f}x the idle p95 {idle_p95 * 1e3:.2f}ms (> 2x): "
+            "readers are blocking on the writer"
+        )
+
+
+def test_mixed_workload_over_tcp():
+    """Sustained mixed read/write blend through real sockets."""
+    reader_count = 4
+    per_reader = 30
+    with ServerHandle.start(
+        chain_source(DEPTH),
+        config=ServerConfig(reader_threads=4),
+        materialize=["anc"],
+    ) as handle:
+        host, port = handle.address
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            with ReproClient(host, port) as client:
+                step = 0
+                while not stop.is_set():
+                    client.assert_facts([f"par(m{step}, m{step + 1})."])
+                    step += 1
+                    time.sleep(0.002)
+
+        def reader(seed):
+            try:
+                with ReproClient(host, port) as client:
+                    for i in range(per_reader):
+                        if i % 3 == 0:
+                            # hot: a view-covered query
+                            client.query(f"anc(n{seed}, X)?")
+                        else:
+                            # selective, version-chasing cold evaluation
+                            client.query(
+                                f"anc(n{(seed + i) % DEPTH}, X)?",
+                                method="seminaive",
+                            )
+            except Exception as exc:  # surface in the main thread
+                errors.append(exc)
+
+        writer_thread = threading.Thread(target=writer)
+        readers = [
+            threading.Thread(target=reader, args=(seed,))
+            for seed in range(reader_count)
+        ]
+        started = time.perf_counter()
+        writer_thread.start()
+        for t in readers:
+            t.start()
+        for t in readers:
+            t.join()
+        stop.set()
+        writer_thread.join()
+        elapsed = time.perf_counter() - started
+        stats = handle.stats()
+
+    assert not errors, errors
+    total_queries = reader_count * per_reader
+    qps = total_queries / elapsed
+    print_table(
+        f"mixed read/write over TCP (depth={DEPTH}, {reader_count} "
+        f"readers x {per_reader} queries + 1 writer)",
+        [
+            "queries/sec", "cold", "memo", "coalesced", "view",
+            "writes", "versions",
+        ],
+        [[
+            f"{qps:.0f}",
+            stats["cold_evaluations"],
+            stats["memo_hits"],
+            stats["coalesced"],
+            stats["view_serves"],
+            stats["mutations_applied"],
+            stats["snapshots_published"],
+        ]],
+    )
+    record_bench(
+        {
+            "depth": DEPTH,
+            "readers": reader_count,
+            "queries": total_queries,
+            "qps": qps,
+            "cold_evaluations": stats["cold_evaluations"],
+            "memo_hits": stats["memo_hits"],
+            "coalesced": stats["coalesced"],
+            "view_serves": stats["view_serves"],
+            "mutations": stats["mutations_applied"],
+            "versions_published": stats["snapshots_published"],
+            "snapshots_live_at_end": stats["snapshots_live"],
+        }
+    )
+    assert stats["mutations_applied"] > 0
+    assert stats["errors"] == 0
+    # every serving mode participated in the blend
+    assert stats["view_serves"] > 0
+    assert stats["cold_evaluations"] > 0
+    # retired versions were released, not accumulated
+    assert stats["snapshots_live"] <= 2

@@ -22,6 +22,13 @@ Commands
     python -m repro workload bom --depth 5 --fanout 2 \
         --exception-rate 0.15 --seed 7 > bom.dl
 
+``serve``     serve the program over TCP: a concurrent query server
+              where readers run against frozen MVCC snapshots while
+              one writer applies mutations and publishes the next
+              version (line-oriented JSON; see repro.server)
+    python -m repro serve program.dl --port 7471 --readers 4 \
+        --max-timeout 5 --materialize anc
+
 The program file uses the surface syntax of ``repro.datalog.parser``:
 rules, ground facts, ``%`` comments, and optionally queries (a query
 given with --query overrides queries in the file).  Body literals may be
@@ -156,6 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true", help="print work counters"
     )
     p_query.add_argument(
+        "--stats-json", action="store_true",
+        help="print one JSON object on stdout (rows, method, work and "
+        "cache counters) instead of the human-readable bindings -- the "
+        "machine-readable twin of --stats",
+    )
+    p_query.add_argument(
         "--no-planner", action="store_true",
         help="run the legacy interpretive join instead of compiled join "
         "plans (A/B comparison; answers are identical)",
@@ -220,6 +233,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_workload.add_argument(
         "--query", default=None,
         help='query to embed (default "buildable(P)?")',
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve the program as a concurrent query server",
+        description="Start a line-oriented JSON query server over TCP. "
+        "Readers evaluate against frozen copy-on-write snapshots while "
+        "one writer serializes mutations and publishes new versions; "
+        "identical in-flight cold queries coalesce into one "
+        "evaluation.  The bound address is printed on stderr as "
+        "'repro serve: listening on HOST:PORT'.",
+    )
+    p_serve.add_argument("program", help="path to a .dl program file")
+    p_serve.add_argument(
+        "--facts", help="extra facts file (same .dl syntax)", default=None
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0: let the OS pick; the bound port is "
+        "printed on stderr)",
+    )
+    p_serve.add_argument(
+        "--readers", type=int, default=4, metavar="N",
+        help="reader worker threads (default 4)",
+    )
+    p_serve.add_argument(
+        "--max-timeout", type=float, default=None, metavar="SECONDS",
+        help="cap on the per-request wall-clock budget clients may ask "
+        "for (and the default when they ask for none)",
+    )
+    p_serve.add_argument(
+        "--max-facts", type=int, default=None, metavar="N",
+        help="cap on the per-request derived-fact budget",
+    )
+    p_serve.add_argument(
+        "--memo-size", type=int, default=256, metavar="N",
+        help="server answer-memo capacity (default 256)",
+    )
+    p_serve.add_argument(
+        "--materialize", action="append", default=None, metavar="PRED",
+        help="maintain this derived predicate incrementally and serve "
+        "covering queries from the frozen view (repeatable)",
     )
     return parser
 
@@ -293,6 +349,46 @@ def _cmd_query(args) -> int:
             max_facts=args.max_facts,
         )
     free_vars = [v.name for v in query.free_variables()]
+    if args.stats_json:
+        # machine-readable: exactly one JSON object on stdout, nothing
+        # else (tooling and the server bench consume this)
+        from .server.protocol import sorted_rows
+
+        stats = result.stats
+        payload = {
+            "query": str(query),
+            "free_variables": free_vars,
+            "rows": sorted_rows(result.values()),
+            "row_count": len(result.rows),
+            "method": result.method,
+            "requested_method": args.method,
+            "from_memo": result.from_memo,
+            "degraded": result.degraded,
+            "maintained": result.maintained,
+            "db_version": session.version,
+            "elapsed": result.elapsed,
+            "repeat": repeat,
+            "memo_hits": session.memo_hits,
+            "memo_misses": session.memo_misses,
+            "facts_derived": (
+                stats.facts_derived if stats is not None else None
+            ),
+            "iterations": stats.iterations if stats is not None else None,
+            "rule_firings": (
+                stats.rule_firings if stats is not None else None
+            ),
+            "join_probes": stats.join_probes if stats is not None else None,
+            "plan_cache_hits": (
+                stats.plan_cache_hits if stats is not None else None
+            ),
+            "plan_cache_misses": (
+                stats.plan_cache_misses if stats is not None else None
+            ),
+        }
+        import json as _json
+
+        print(_json.dumps(payload, sort_keys=True))
+        return 0
     if not free_vars:
         print("yes" if result.rows else "no")
     else:
@@ -442,6 +538,56 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .server import ReproServer, ServerConfig
+
+    with open(args.program) as handle:
+        parsed = parse_program(handle.read())
+    database = Database()
+    database.add_facts(parsed.facts)
+    if args.facts:
+        with open(args.facts) as handle:
+            extra = parse_program(handle.read())
+        if extra.program.rules:
+            raise ReproError(
+                f"facts file {args.facts} contains rules; put rules in "
+                "the program file"
+            )
+        database.add_facts(extra.facts)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        reader_threads=args.readers,
+        memo_size=args.memo_size,
+        max_timeout=args.max_timeout,
+        max_facts=args.max_facts,
+    )
+    server = ReproServer(
+        program=parsed.program,
+        database=database,
+        config=config,
+        materialize=args.materialize,
+    )
+
+    async def run() -> None:
+        host, port = await server.start()
+        # stderr, flushed: scripts wait for this line to learn the port
+        print(f"repro serve: listening on {host}:{port}", file=sys.stderr)
+        sys.stderr.flush()
+        assert server._stopped is not None
+        await server._stopped.wait()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        # second interrupt during drain still exits 0: the server's
+        # pools are daemon-threaded and the database is in-memory
+        pass
+    return 0
+
+
 _COMMANDS = {
     "rewrite": _cmd_rewrite,
     "query": _cmd_query,
@@ -449,6 +595,7 @@ _COMMANDS = {
     "safety": _cmd_safety,
     "explain": _cmd_explain,
     "workload": _cmd_workload,
+    "serve": _cmd_serve,
 }
 
 

@@ -18,6 +18,7 @@ list indexing operation and resolved rows share structure.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Tuple
 
 from .terms import Term
@@ -26,13 +27,21 @@ __all__ = ["TermCatalog", "term_catalog"]
 
 
 class TermCatalog:
-    """A bidirectional, append-only mapping ground ``Term`` <-> int ID."""
+    """A bidirectional, append-only mapping ground ``Term`` <-> int ID.
 
-    __slots__ = ("_ids", "_terms")
+    Thread-safe: reads (``id_of``/``resolve``) are lock-free -- they
+    only see fully published entries because allocation appends to
+    ``_terms`` *before* publishing the ID in ``_ids`` -- and allocation
+    takes a lock so two threads interning distinct new terms can never
+    be handed the same ID.  The hit path stays a single dict probe.
+    """
+
+    __slots__ = ("_ids", "_terms", "_alloc_lock")
 
     def __init__(self) -> None:
         self._ids: Dict[Term, int] = {}
         self._terms: List[Term] = []
+        self._alloc_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._terms)
@@ -47,9 +56,12 @@ class TermCatalog:
         if term_id is None:
             if not term.is_ground():
                 raise ValueError(f"cannot intern non-ground term {term}")
-            term_id = len(self._terms)
-            self._ids[term] = term_id
-            self._terms.append(term)
+            with self._alloc_lock:
+                term_id = self._ids.get(term)
+                if term_id is None:
+                    term_id = len(self._terms)
+                    self._terms.append(term)
+                    self._ids[term] = term_id
         return term_id
 
     def id_of(self, term: Term) -> int:
@@ -68,16 +80,11 @@ class TermCatalog:
     def intern_row(self, row: Iterable[Term]) -> Tuple[int, ...]:
         """Bulk :meth:`intern` over one tuple of terms."""
         ids = self._ids
-        terms = self._terms
         out = []
         for term in row:
             term_id = ids.get(term)
             if term_id is None:
-                if not term.is_ground():
-                    raise ValueError(f"cannot intern non-ground term {term}")
-                term_id = len(terms)
-                ids[term] = term_id
-                terms.append(term)
+                term_id = self.intern(term)
             out.append(term_id)
         return tuple(out)
 

@@ -36,6 +36,22 @@ evaluation results are resolved back to terms only when answers are
 materialized (``answer_tuples``, ``QSQResult.query_answers``, session
 answer sets, derivation/provenance reconstruction).
 
+Copy-on-write snapshots
+-----------------------
+
+:meth:`Database.snapshot` produces a frozen, relation-sharing view of
+the database in O(#relations): the snapshot's relation dict references
+the *same* :class:`Relation` objects, and both sides mark those keys
+*shared*.  The first mutation of a shared relation **through the
+database's methods** (``relation()``, ``retract_fact``, ...) clones it
+for the mutating side first (:meth:`Relation.copy` preserves indexes),
+so the other side never observes the change -- this is the MVCC
+substrate the query server (:mod:`repro.server`) builds on: readers pin
+a snapshot version while the single writer clones only the relations a
+mutation actually touches.  Direct ``Relation`` method calls on objects
+obtained *before* the snapshot bypass the guard; the server only
+mutates through ``Session``/``Database`` methods, which honor it.
+
 Versioning
 ----------
 
@@ -435,7 +451,9 @@ class Relation:
             if pruned:
                 index[key] = array("q", pruned)
             else:
-                del index[key]
+                # pop, not del: concurrent readers of a shared snapshot
+                # relation may both prune the same exhausted bucket
+                index.pop(key, None)
         return pruned
 
     def probe_index(
@@ -661,6 +679,12 @@ class Relation:
         (raw ``array`` copies -- no Term is touched), so consumers of
         ``Database.copy()``/``seeded_database`` never pay lazy O(n)
         index rebuilds mid-join.
+
+        Safe to call on a snapshot-shared relation while other reader
+        threads probe it: the index dicts are materialized with
+        ``list()`` before iteration, so a concurrent lazy index build
+        or bucket prune (both value-idempotent under the GIL) cannot
+        raise ``RuntimeError: dict changed size during iteration``.
         """
         duplicate = Relation.__new__(Relation)
         duplicate.name = self.name
@@ -676,8 +700,10 @@ class Relation:
         duplicate._dead = self._dead
         duplicate._term_rows = list(self._term_rows)
         duplicate._indexes = {
-            positions: {key: bucket[:] for key, bucket in index.items()}
-            for positions, index in self._indexes.items()
+            positions: {
+                key: bucket[:] for key, bucket in list(index.items())
+            }
+            for positions, index in list(self._indexes.items())
         }
         return duplicate
 
@@ -830,7 +856,7 @@ MutationEntry = Tuple[str, IdTuple, int]
 class Database:
     """A named collection of relations, keyed by predicate key."""
 
-    __slots__ = ("_relations", "_version", "_mutation_logs")
+    __slots__ = ("_relations", "_version", "_mutation_logs", "_shared")
 
     def __init__(self):
         self._relations: Dict[str, Relation] = {}
@@ -839,6 +865,47 @@ class Database:
         #: every actual set change on an owned relation appends a
         #: ``(pred_key, idrow, sign)`` entry to each
         self._mutation_logs: Tuple[List[MutationEntry], ...] = ()
+        #: predicate keys whose Relation object is shared with a live
+        #: :meth:`snapshot`; mutation paths clone these first (COW)
+        self._shared: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # copy-on-write snapshots (the MVCC substrate of repro.server)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "Database":
+        """A frozen, relation-sharing snapshot of this database.
+
+        O(#relations): no tuple is copied.  The snapshot references the
+        same :class:`Relation` objects; both databases mark those keys
+        shared, and the first mutation of a shared relation *through
+        either database's methods* clones it for the mutating side
+        before touching it, so the other side keeps observing the state
+        at snapshot time.  A writer that touches k of n relations
+        between snapshots therefore pays k relation copies, not n.
+
+        Shared relations keep their ``owner`` backreference to the
+        database that created them (their version bumps -- which can
+        only happen after a clone replaced them on the owning side --
+        never corrupt the snapshot), and :meth:`check_integrity`
+        accepts foreign ownership exactly for keys marked shared.
+        """
+        snap = Database()
+        snap._relations = dict(self._relations)
+        snap._version = self._version
+        snap._shared = set(self._relations)
+        self._shared = set(self._relations)
+        return snap
+
+    def _writable(self, pred_key: str) -> Optional[Relation]:
+        """The relation for a mutation path: clones a snapshot-shared
+        one (preserving its indexes) before handing it out."""
+        rel = self._relations.get(pred_key)
+        if rel is not None and pred_key in self._shared:
+            rel = rel.copy()
+            rel.owner = self
+            self._relations[pred_key] = rel
+            self._shared.discard(pred_key)
+        return rel
 
     # ------------------------------------------------------------------
     # mutation capture (incremental view maintenance)
@@ -869,8 +936,13 @@ class Database:
     # construction
     # ------------------------------------------------------------------
     def relation(self, pred_key: str) -> Relation:
-        """Get (or create) the relation for a predicate key."""
-        rel = self._relations.get(pred_key)
+        """Get (or create) the relation for a predicate key.
+
+        This is a mutation entry point: a snapshot-shared relation is
+        cloned for this database first (copy-on-write), so callers may
+        freely mutate the returned object.
+        """
+        rel = self._writable(pred_key)
         if rel is None:
             rel = Relation(pred_key)
             rel.owner = self
@@ -904,7 +976,7 @@ class Database:
         """Retract a ground literal; returns True when it was present."""
         if not literal.is_ground():
             raise ValueError(f"fact {literal} is not ground")
-        rel = self._relations.get(literal.pred_key)
+        rel = self._writable(literal.pred_key)
         if rel is None:
             return False
         return rel.discard(literal.args)
@@ -915,7 +987,7 @@ class Database:
     def retract_tuples(
         self, pred_key: str, rows: Iterable[Iterable[Term]]
     ) -> int:
-        rel = self._relations.get(pred_key)
+        rel = self._writable(pred_key)
         if rel is None:
             return 0
         return rel.discard_many(rows)
@@ -989,7 +1061,7 @@ class Database:
         total = 0
         for key, rel in self._relations.items():
             rel.check_invariants()
-            if rel.owner is not self:
+            if rel.owner is not self and key not in self._shared:
                 raise IntegrityError(
                     f"relation {key}: owner backreference does not point "
                     f"at this database",

@@ -52,6 +52,7 @@ Two further layers serve the top-down side and repeated evaluations:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from itertools import repeat as _repeat
 from typing import Dict, List, Optional, Set, Tuple
@@ -1310,7 +1311,7 @@ class PlanCache:
     hits/misses through their stats objects.
     """
 
-    __slots__ = ("maxsize", "hits", "misses", "_entries")
+    __slots__ = ("maxsize", "hits", "misses", "_entries", "_lock")
 
     def __init__(self, maxsize: int = 128):
         if maxsize < 1:
@@ -1321,6 +1322,12 @@ class PlanCache:
         self._entries: "OrderedDict[Tuple[str, Program], object]" = (
             OrderedDict()
         )
+        # OrderedDict relinking (move_to_end / insert / popitem) is not
+        # atomic under concurrent callers; the server's reader pool
+        # shares this cache, so bookkeeping takes a lock.  Compilation
+        # itself runs outside it -- duplicate compiles race benignly
+        # and the first published entry wins.
+        self._lock = threading.Lock()
 
     def get(self, kind: str, program: Program, factory):
         """The cached compilation for ``(kind, program)``.
@@ -1330,22 +1337,26 @@ class PlanCache:
         ``maxsize``).
         """
         key = (kind, program)
-        entry = self._entries.get(key)
-        if entry is not None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry, True
+            self.misses += 1
+        compiled = factory(program)
+        with self._lock:
+            entry = self._entries.setdefault(key, compiled)
             self._entries.move_to_end(key)
-            self.hits += 1
-            return entry, True
-        self.misses += 1
-        entry = factory(program)
-        self._entries[key] = entry
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
         return entry, False
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self):
         return len(self._entries)

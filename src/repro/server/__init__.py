@@ -1,0 +1,33 @@
+"""``repro.server``: a concurrent query server over MVCC snapshots.
+
+Readers evaluate against frozen :class:`Snapshot` versions (relation-
+level copy-on-write off the columnar storage) while a single writer
+produces the next version; identical in-flight cold queries coalesce
+into one evaluation; every request runs under a server-capped
+:class:`~repro.core.limits.EvaluationBudget`.  See
+:class:`ReproServer` (asyncio), :class:`ServerHandle` (background
+thread, for tests and embedding), and :class:`ReproClient` (blocking
+TCP).  The CLI front end is ``repro serve``.
+"""
+
+from .app import ReproServer, ServerConfig, ServerHandle, ServerMetrics
+from .client import ReproClient, ServerError
+from .protocol import ERROR_EXIT_CODES, PROTOCOL_VERSION, ProtocolError
+from .scheduler import MutationScheduler, QueryScheduler
+from .snapshot import Snapshot, SnapshotManager
+
+__all__ = [
+    "ReproServer",
+    "ServerConfig",
+    "ServerHandle",
+    "ServerMetrics",
+    "ReproClient",
+    "ServerError",
+    "ProtocolError",
+    "ERROR_EXIT_CODES",
+    "PROTOCOL_VERSION",
+    "MutationScheduler",
+    "QueryScheduler",
+    "Snapshot",
+    "SnapshotManager",
+]

@@ -1,0 +1,362 @@
+"""Read and write scheduling for the query server.
+
+Two schedulers share one :class:`~repro.server.snapshot.SnapshotManager`:
+
+:class:`QueryScheduler`
+    Runs reads in a worker-thread pool, each against the snapshot that
+    was current when the request arrived.  All bookkeeping -- the
+    answer memo keyed ``(query, options, version)`` and the in-flight
+    table that coalesces identical cold queries into one evaluation --
+    lives on the asyncio event loop, so it needs no locks: only the
+    evaluation itself leaves the loop.
+
+:class:`MutationScheduler`
+    Serializes every mutation through one writer: an ``asyncio.Lock``
+    in front of a single-thread executor.  A batch applies atomically
+    -- mutations are captured in a ``Database`` mutation log, and any
+    failure mid-batch replays the log's inverse before re-raising, so
+    the live database returns to its pre-batch state and, because a
+    new snapshot is published only after a *successful* batch, no
+    reader ever observes a partially applied mutation.  A committed
+    batch runs incremental view maintenance (via ``Session.batch``)
+    and publishes the next version with frozen copies of whatever
+    views came out fresh.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..core.limits import BudgetExceeded, EvaluationCancelled
+from ..datalog.ast import Query
+from ..datalog.database import Database, FactTuple
+from ..datalog.errors import ParseError, ReproError
+from ..datalog.parser import parse_query
+from ..datalog.planner import PlanCache
+from ..datalog.unify import match_sequences
+from ..core.pipeline import unwrap_values
+from ..session import SESSION_METHODS, Session
+from .protocol import ProtocolError, sorted_rows
+from .snapshot import Snapshot, SnapshotManager
+
+__all__ = ["QueryScheduler", "MutationScheduler"]
+
+
+def _to_protocol_error(exc: BaseException) -> ProtocolError:
+    """Map an evaluation-layer exception onto a wire error."""
+    if isinstance(exc, ProtocolError):
+        return exc
+    if isinstance(exc, BudgetExceeded):
+        return ProtocolError(
+            "budget_exceeded",
+            str(exc),
+            detail={
+                "limit": exc.limit,
+                "facts": exc.facts,
+                "stratum": exc.stratum,
+                "round": exc.round,
+                "elapsed": exc.elapsed,
+                "method": exc.method,
+            },
+        )
+    if isinstance(exc, EvaluationCancelled):
+        return ProtocolError("budget_exceeded", str(exc))
+    if isinstance(exc, ParseError):
+        return ProtocolError("parse_error", str(exc))
+    if isinstance(exc, (ReproError, ValueError)):
+        return ProtocolError("evaluation_error", str(exc))
+    return ProtocolError(
+        "internal_error", f"{type(exc).__name__}: {exc}"
+    )
+
+
+def _select_from_relation(
+    relation, query: Query
+) -> Set[FactTuple]:
+    """Selection/projection of a query literal over one frozen relation
+    (same answer shape as the evaluation paths)."""
+    literal = query.literal
+    free_positions = [
+        i for i, arg in enumerate(literal.args) if not arg.is_ground()
+    ]
+    answers: Set[FactTuple] = set()
+    for row in relation:
+        if len(row) != len(literal.args):
+            continue
+        if match_sequences(literal.args, row) is None:
+            continue
+        answers.add(tuple(row[i] for i in free_positions))
+    return answers
+
+
+class QueryScheduler:
+    """Executes reads against pinned snapshots, with memo + coalescing.
+
+    Must be used from a single asyncio event loop (the server's); the
+    memo and in-flight tables are loop-confined by construction.
+    """
+
+    def __init__(
+        self,
+        program,
+        snapshots: SnapshotManager,
+        *,
+        reader_threads: int = 4,
+        memo_size: int = 256,
+        max_timeout: Optional[float] = None,
+        max_facts: Optional[int] = None,
+        default_timeout: Optional[float] = None,
+        default_max_facts: Optional[int] = None,
+        plan_cache: Optional[PlanCache] = None,
+    ):
+        self._program = program
+        self._snapshots = snapshots
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, reader_threads),
+            thread_name_prefix="repro-reader",
+        )
+        self._memo_size = memo_size
+        self._memo: "OrderedDict[tuple, Dict[str, Any]]" = OrderedDict()
+        self._inflight: Dict[tuple, "asyncio.Future"] = {}
+        self._max_timeout = max_timeout
+        self._max_facts = max_facts
+        self._default_timeout = default_timeout
+        self._default_max_facts = default_max_facts
+        self._plan_cache = plan_cache
+        # counters (loop-confined, read by /stats)
+        self.cold_evaluations = 0
+        self.memo_hits = 0
+        self.coalesced = 0
+        self.view_serves = 0
+
+    def _capped_budget_options(
+        self, options: Dict[str, Any]
+    ) -> Tuple[Optional[float], Optional[int]]:
+        """Client budget options clamped to the server's caps."""
+        timeout = options.get("timeout", self._default_timeout)
+        if self._max_timeout is not None:
+            timeout = (
+                self._max_timeout
+                if timeout is None
+                else min(timeout, self._max_timeout)
+            )
+        max_facts = options.get("max_facts", self._default_max_facts)
+        if self._max_facts is not None:
+            max_facts = (
+                self._max_facts
+                if max_facts is None
+                else min(max_facts, self._max_facts)
+            )
+        return timeout, max_facts
+
+    async def execute(
+        self, query_text: str, options: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Answer one query request; returns the response payload."""
+        method = options.get("method", "auto")
+        if method not in SESSION_METHODS:
+            raise ProtocolError(
+                "bad_request",
+                f"unknown method {method!r}; expected one of "
+                f"{SESSION_METHODS}",
+            )
+        loop = asyncio.get_running_loop()
+        snapshot = self._snapshots.current()
+        key = (
+            query_text.strip(),
+            method,
+            options.get("engine", "seminaive"),
+            snapshot.version,
+        )
+        cached = self._memo.get(key)
+        if cached is not None:
+            snapshot.release()
+            self._memo.move_to_end(key)
+            self.memo_hits += 1
+            return dict(cached, served="memo")
+        pending = self._inflight.get(key)
+        if pending is not None:
+            snapshot.release()
+            self.coalesced += 1
+            payload = await asyncio.shield(pending)
+            return dict(payload, served="coalesced")
+        future: "asyncio.Future" = loop.create_future()
+        self._inflight[key] = future
+        timeout, max_facts = self._capped_budget_options(options)
+        try:
+            payload = await loop.run_in_executor(
+                self._pool,
+                self._evaluate,
+                query_text,
+                method,
+                options,
+                timeout,
+                max_facts,
+                snapshot,
+            )
+        except BaseException as exc:
+            # waiters coalesced onto this evaluation share its failure
+            error = _to_protocol_error(exc)
+            if not future.cancelled():
+                future.set_exception(error)
+                # consumed by every coalesced waiter via `await shield`;
+                # retrieve here too so lone failures do not warn
+                future.exception()
+            raise error
+        else:
+            if payload.get("served") == "view":
+                self.view_serves += 1
+            else:
+                self.cold_evaluations += 1
+            self._memo[key] = payload
+            while len(self._memo) > self._memo_size:
+                self._memo.popitem(last=False)
+            if not future.cancelled():
+                future.set_result(payload)
+            return dict(payload)
+        finally:
+            self._inflight.pop(key, None)
+            snapshot.release()
+
+    def _evaluate(
+        self,
+        query_text: str,
+        method: str,
+        options: Dict[str, Any],
+        timeout: Optional[float],
+        max_facts: Optional[int],
+        snapshot: Snapshot,
+    ) -> Dict[str, Any]:
+        """Worker-thread body: parse, then view-serve or evaluate cold."""
+        started = time.perf_counter()
+        query = parse_query(query_text)
+        base: Dict[str, Any] = {
+            "version": snapshot.version,
+            "query": query_text.strip(),
+        }
+        # a maintained view frozen into this snapshot answers by pure
+        # selection -- no evaluation, no database copy
+        view_rel = snapshot.views.get(query.literal.pred_key)
+        if view_rel is not None and method in ("auto", "materialized"):
+            rows = _select_from_relation(view_rel, query)
+            base.update(
+                served="view",
+                method="materialized",
+                rows=sorted_rows(unwrap_values(rows)),
+                row_count=len(rows),
+                elapsed=time.perf_counter() - started,
+            )
+            return base
+        if method == "materialized":
+            raise ProtocolError(
+                "bad_request",
+                f"no maintained view covers {query.literal.pred_key!r} "
+                "in the current snapshot",
+            )
+        session = Session(
+            program=self._program,
+            database=snapshot.db,
+            plan_cache=self._plan_cache,
+            memo_size=1,  # the server memo caches; per-request sessions
+        )
+        result = session.query(
+            query,
+            method=method,
+            engine=options.get("engine", "seminaive"),
+            timeout=timeout,
+            max_facts=max_facts,
+        )
+        base.update(
+            served="cold",
+            method=result.method,
+            degraded=result.degraded,
+            rows=sorted_rows(result.values()),
+            row_count=len(result.rows),
+            elapsed=time.perf_counter() - started,
+        )
+        return base
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class MutationScheduler:
+    """Serializes mutations through one writer thread, atomically."""
+
+    def __init__(self, session: Session, snapshots: SnapshotManager):
+        self._session = session
+        self._snapshots = snapshots
+        self._writer = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-writer"
+        )
+        # created lazily inside a coroutine: asyncio.Lock binds to the
+        # running loop on construction before 3.10
+        self._lock: Optional[asyncio.Lock] = None
+        self.mutations = 0
+        self.rolled_back = 0
+
+    async def apply(self, op: str, facts: List[str]) -> Dict[str, Any]:
+        if self._lock is None:
+            self._lock = asyncio.Lock()
+        loop = asyncio.get_running_loop()
+        async with self._lock:
+            try:
+                payload = await loop.run_in_executor(
+                    self._writer, self._apply, op, facts
+                )
+            except BaseException as exc:
+                raise _to_protocol_error(exc)
+        self.mutations += 1
+        return payload
+
+    def _apply(self, op: str, facts: List[str]) -> Dict[str, Any]:
+        """Writer-thread body: apply the batch, maintain, publish.
+
+        Wraps the batch in a mutation log; on any failure the log's
+        inverse is replayed (newest first) before the exception
+        propagates, so the live database is restored byte-for-byte and
+        the current published snapshot stays the serving version.
+        """
+        session = self._session
+        database: Database = session.database
+        log = database.start_mutation_log()
+        changed = 0
+        try:
+            with session.batch():
+                for fact in facts:
+                    if op == "assert":
+                        outcome = session.assert_(fact)
+                    else:
+                        outcome = session.retract(fact)
+                    changed += int(bool(outcome))
+        except BaseException:
+            database.stop_mutation_log(log)
+            self._rollback(database, log)
+            self.rolled_back += 1
+            raise
+        database.stop_mutation_log(log)
+        views = session.materialized_relations()
+        snap = self._snapshots.publish(views)
+        return {
+            "op": op,
+            "changed": changed,
+            "requested": len(facts),
+            "version": snap.version,
+            "views_published": sorted(views),
+        }
+
+    @staticmethod
+    def _rollback(database: Database, log) -> None:
+        for pred_key, idrow, sign in reversed(log):
+            relation = database.relation(pred_key)
+            if sign > 0:
+                relation.discard_id_row(idrow)
+            else:
+                relation.add_id_row(idrow)
+
+    def shutdown(self) -> None:
+        self._writer.shutdown(wait=True)

@@ -71,7 +71,7 @@ from .core.provenance import RewrittenProgram
 from .core.sips import SipBuilder, build_full_sip
 from .datalog.analysis import reachable_predicates
 from .datalog.ast import Literal, Program, Query
-from .datalog.database import Database, FactTuple
+from .datalog.database import Database, FactTuple, Relation
 from .datalog.derivation import DerivationNode
 from .datalog.engine import EvaluationStats, evaluate
 from .datalog.errors import (
@@ -499,6 +499,57 @@ class Session:
             "plan_cache_misses": self._plan_cache.misses,
             "db_version": self.version,
         }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release everything this session accumulated (idempotent).
+
+        Drops every live :class:`MaterializedView` (closing the shared
+        materializer, which detaches its mutation log from the
+        database), clears the answer memo and its footprints, and
+        forgets the per-query dispatch/rewrite caches.  The program and
+        database are untouched -- a closed session can be queried again
+        (state simply rebuilds), which is what lets a server pool and
+        recycle sessions without leaking materialized state.
+        """
+        for view in list(self._views):
+            view.drop()
+        if self._materializer is not None:
+            self._materializer.close()
+            self._materializer = None
+        self._memo.clear()
+        self._memo_footprints.clear()
+        self._auto_choice.clear()
+        self._adorned.clear()
+        self._rewritten.clear()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def materialized_relations(self) -> Dict[str, "Relation"]:
+        """Frozen copies of the fresh maintained derived relations.
+
+        Empty when no views are live or the materializer is stale or
+        has unapplied deltas -- never a stale answer.  Each value is an
+        independent :class:`Relation` copy (indexes carried over), so
+        the caller may hand them to concurrent readers while this
+        session keeps mutating; this is the publish hook the query
+        server uses to serve view-covered queries from a snapshot.
+        """
+        m = self._materializer
+        if m is None or not self._views or not m.fresh:
+            return {}
+        out: Dict[str, Relation] = {}
+        for pred_key in m.derived_keys:
+            rel = m.working.get(pred_key)
+            if rel is not None:
+                out[pred_key] = rel.copy()
+        return out
 
     # ------------------------------------------------------------------
     # mutation (assertion / retraction)

@@ -164,3 +164,73 @@ class TestErrors:
         path.write_text("anc(X, Y) :- par(X, Y).\n")
         assert main(["query", str(path)]) == 1
         assert "no query" in capsys.readouterr().err
+
+
+class TestStatsJson:
+    def test_one_json_object_on_stdout(self, program_file, capsys):
+        import json
+
+        code = main(
+            ["query", program_file, "--method", "auto", "--stats-json"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)  # exactly one object, nothing else
+        assert payload["row_count"] == 2
+        assert sorted(payload["rows"]) == [["mary"], ["sue"]]
+        assert payload["requested_method"] == "auto"
+        assert payload["method"] != "auto"
+        assert payload["from_memo"] is False
+        for key in (
+            "facts_derived", "iterations", "plan_cache_hits",
+            "memo_hits", "memo_misses", "db_version", "elapsed",
+        ):
+            assert key in payload, key
+
+    def test_repeat_reports_memo_hit(self, program_file, capsys):
+        import json
+
+        code = main(
+            ["query", program_file, "--stats-json", "--repeat", "3"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["from_memo"] is True
+        assert payload["memo_hits"] == 2
+
+    def test_boolean_query_rows(self, program_file, capsys):
+        import json
+
+        code = main(
+            ["query", program_file, "--query", "anc(john, sue)?",
+             "--stats-json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["free_variables"] == []
+        assert payload["rows"] == [[]]  # yes: one empty binding
+
+
+class TestServeParser:
+    def test_serve_registered_with_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "prog.dl"])
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.readers == 4
+        assert args.materialize is None
+
+    def test_serve_options(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "prog.dl", "--port", "7471", "--readers", "8",
+             "--max-timeout", "2.5", "--max-facts", "1000",
+             "--materialize", "anc", "--materialize", "path"]
+        )
+        assert args.port == 7471
+        assert args.readers == 8
+        assert args.max_timeout == 2.5
+        assert args.max_facts == 1000
+        assert args.materialize == ["anc", "path"]

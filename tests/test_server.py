@@ -1,0 +1,687 @@
+"""The query server (repro.server): MVCC snapshots, scheduling, wire.
+
+Five layers of guarantees:
+
+* **Copy-on-write.**  ``Database.snapshot()`` is O(#relations) and
+  shares ``Relation`` objects until a side mutates; the first mutation
+  through either database's methods clones the touched relation for
+  the mutating side only, and ``check_integrity()`` stays clean on
+  both sides throughout.
+* **Scheduling.**  Reads run against pinned refcounted snapshots;
+  identical in-flight cold queries coalesce into exactly one
+  evaluation; mutations serialize through one writer and publish
+  atomically; budgets are capped by server config.
+* **Snapshot isolation.**  A reader pinned at version V observes
+  identical rows before/during/after a concurrent writer advances to
+  V+1 -- across compiled semi-naive, supplementary-magic, and
+  view-served paths, including a hypothesis property over random
+  mutation scripts.
+* **Writer atomicity.**  A mutation batch that fails mid-way (parse
+  error, injected fault) is rolled back via the mutation log's
+  inverse: the live database returns to its pre-batch state, no new
+  version is published, and published snapshots never show a partial
+  batch.
+* **The wire.**  Request validation, structured errors carrying
+  CLI-compatible exit codes, the TCP client, stats, graceful drain.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.database import Database
+from repro.session import Session
+from repro.server import (
+    ERROR_EXIT_CODES,
+    ProtocolError,
+    ReproClient,
+    ReproServer,
+    ServerConfig,
+    ServerError,
+    ServerHandle,
+    SnapshotManager,
+)
+from repro.server.protocol import (
+    decode_line,
+    encode_message,
+    normalize_options,
+    sorted_rows,
+    validate_request,
+)
+from repro.server.scheduler import MutationScheduler
+
+ANCESTOR = """
+par(john, alice). par(alice, ted). par(ted, zoe).
+anc(X, Y) :- par(X, Y).
+anc(X, Z) :- par(X, Y), anc(Y, Z).
+"""
+
+BOM = """
+part(engine). part(piston). part(bolt).
+sub(engine, piston). sub(piston, bolt).
+uses(X, Y) :- sub(X, Y).
+uses(X, Z) :- sub(X, Y), uses(Y, Z).
+banned(bolt).
+ok(X) :- part(X), not banned(X).
+"""
+
+
+def chain_db(depth):
+    db = Database()
+    db.add_values("par", [(f"n{i}", f"n{i + 1}") for i in range(depth)])
+    return db
+
+
+# ----------------------------------------------------------------------
+# copy-on-write snapshots (Database.snapshot)
+# ----------------------------------------------------------------------
+class TestCopyOnWrite:
+    def test_snapshot_shares_relation_objects(self):
+        db = chain_db(3)
+        snap = db.snapshot()
+        assert snap.get("par") is db.get("par")
+        assert snap.version == db.version
+
+    def test_write_clones_only_touched_relation(self):
+        db = chain_db(3)
+        db.add_values("lab", [("n0", "x")])
+        snap = db.snapshot()
+        shared_par = snap.get("par")
+        db.add_values("par", [("n3", "n4")])
+        # par was cloned for the writer; lab is still the same object
+        assert db.get("par") is not shared_par
+        assert snap.get("par") is shared_par
+        assert snap.get("lab") is db.get("lab")
+
+    def test_snapshot_is_frozen_under_writes(self):
+        db = chain_db(3)
+        snap = db.snapshot()
+        before = snap.tuples("par")
+        db.add_values("par", [("n3", "n4")])
+        db.retract_values("par", [("n0", "n1")])
+        assert snap.tuples("par") == before
+        assert len(db.get("par")) == 3
+
+    def test_snapshot_side_write_clones_for_snapshot(self):
+        db = chain_db(3)
+        snap = db.snapshot()
+        snap.add_values("par", [("m0", "m1")])
+        assert len(snap.get("par")) == 4
+        assert len(db.get("par")) == 3
+        assert snap.get("par") is not db.get("par")
+
+    def test_integrity_clean_on_both_sides(self):
+        db = chain_db(3)
+        snap = db.snapshot()
+        db.add_values("par", [("n3", "n4")])
+        snap.retract_values("par", [("n0", "n1")])
+        assert db.check_integrity()
+        assert snap.check_integrity()
+
+    def test_chained_snapshots(self):
+        db = chain_db(2)
+        snap1 = db.snapshot()
+        db.add_values("par", [("a", "b")])
+        snap2 = db.snapshot()
+        db.add_values("par", [("c", "d")])
+        assert len(snap1.get("par")) == 2
+        assert len(snap2.get("par")) == 3
+        assert len(db.get("par")) == 4
+        for side in (db, snap1, snap2):
+            assert side.check_integrity()
+
+    def test_new_relation_invisible_to_snapshot(self):
+        db = chain_db(2)
+        snap = db.snapshot()
+        db.add_values("extra", [("e",)])
+        assert "extra" not in snap
+        assert db.check_integrity()
+
+    def test_copy_starts_unshared(self):
+        db = chain_db(2)
+        db.snapshot()
+        dup = db.copy()
+        assert dup._shared == set()
+        assert dup.check_integrity()
+
+
+class TestSnapshotManager:
+    def test_refcounting_retires_old_versions(self):
+        db = chain_db(2)
+        manager = SnapshotManager(db)
+        manager.publish()
+        first = manager.current()
+        assert manager.live_count == 1
+        db.add_values("par", [("x", "y")])
+        manager.publish()
+        # the old version survives while the reader still holds it
+        assert manager.live_count == 2
+        assert len(first.db.tuples("par")) == 2
+        first.release()
+        assert manager.live_count == 1
+
+    def test_acquire_after_retire_is_an_error(self):
+        db = chain_db(1)
+        manager = SnapshotManager(db)
+        manager.publish()
+        snap = manager.current()
+        manager.publish()
+        snap.release()
+        with pytest.raises(RuntimeError):
+            snap.acquire()
+
+    def test_current_tracks_database_version(self):
+        db = chain_db(1)
+        manager = SnapshotManager(db)
+        manager.publish()
+        v0 = manager.current_version
+        db.add_values("par", [("x", "y")])
+        manager.publish()
+        assert manager.current_version == v0 + 1
+
+
+# ----------------------------------------------------------------------
+# protocol units
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_roundtrip(self):
+        msg = {"op": "query", "query": "anc(john, X)?", "id": 7}
+        assert decode_line(encode_message(msg).strip()) == msg
+
+    def test_malformed_json(self):
+        with pytest.raises(ProtocolError) as err:
+            decode_line(b"{nope")
+        assert err.value.code == "parse_error"
+        assert err.value.exit_code == 2
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError) as err:
+            validate_request({"op": "frobnicate"})
+        assert err.value.code == "bad_request"
+
+    def test_query_requires_text(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"op": "query", "query": ""})
+
+    def test_facts_must_be_strings(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"op": "assert", "facts": [1, 2]})
+        with pytest.raises(ProtocolError):
+            validate_request({"op": "retract", "facts": []})
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            normalize_options({"max_fact": 10})
+        assert "max_fact" in str(err.value)
+
+    def test_option_types_checked(self):
+        with pytest.raises(ProtocolError):
+            normalize_options({"timeout": -1})
+        with pytest.raises(ProtocolError):
+            normalize_options({"max_facts": True})
+        assert normalize_options({"timeout": 2})["timeout"] == 2.0
+
+    def test_exit_codes_match_cli_conventions(self):
+        assert ERROR_EXIT_CODES["budget_exceeded"] == 4
+        assert ERROR_EXIT_CODES["evaluation_error"] == 1
+        assert ERROR_EXIT_CODES["bad_request"] == 2
+
+    def test_sorted_rows_deterministic(self):
+        rows = {("b", 2), ("a", 1), ("a", 0)}
+        assert sorted_rows(rows) == [["a", 0], ["a", 1], ["b", 2]]
+
+
+# ----------------------------------------------------------------------
+# the served surface (in-process handle + TCP)
+# ----------------------------------------------------------------------
+class TestServerHandle:
+    def test_cold_then_memo(self):
+        with ServerHandle.start(ANCESTOR) as handle:
+            first = handle.request({"op": "query", "query": "anc(john, X)?"})
+            assert first["ok"] and first["served"] == "cold"
+            assert first["row_count"] == 3
+            again = handle.request({"op": "query", "query": "anc(john, X)?"})
+            assert again["served"] == "memo"
+            assert again["rows"] == first["rows"]
+
+    def test_mutation_advances_version_and_invalidates(self):
+        with ServerHandle.start(ANCESTOR) as handle:
+            first = handle.request({"op": "query", "query": "anc(john, X)?"})
+            done = handle.request(
+                {"op": "assert", "facts": ["par(zoe, ann)."]}
+            )
+            assert done["ok"] and done["changed"] == 1
+            assert done["version"] > first["version"]
+            after = handle.request({"op": "query", "query": "anc(john, X)?"})
+            assert after["served"] == "cold"
+            assert after["row_count"] == 4
+
+    def test_retract(self):
+        with ServerHandle.start(ANCESTOR) as handle:
+            done = handle.request(
+                {"op": "retract", "facts": ["par(ted, zoe)."]}
+            )
+            assert done["changed"] == 1
+            rows = handle.request({"op": "query", "query": "anc(john, X)?"})
+            assert rows["row_count"] == 2
+
+    def test_error_payload_carries_exit_code(self):
+        with ServerHandle.start(ANCESTOR) as handle:
+            bad = handle.request({"op": "query", "query": "anc(john, X)?",
+                                  "options": {"method": "nope"}})
+            assert not bad["ok"]
+            assert bad["error"]["code"] == "bad_request"
+            assert bad["error"]["exit_code"] == 2
+
+    def test_budget_cap_applies_server_side(self):
+        config = ServerConfig(max_facts=1)
+        with ServerHandle.start(ANCESTOR, config=config) as handle:
+            out = handle.request(
+                {"op": "query", "query": "anc(john, X)?",
+                 "options": {"max_facts": 10_000_000}}
+            )
+            assert not out["ok"]
+            assert out["error"]["code"] == "budget_exceeded"
+            assert out["error"]["exit_code"] == 4
+
+    def test_stats_surface(self):
+        with ServerHandle.start(ANCESTOR) as handle:
+            handle.request({"op": "query", "query": "anc(john, X)?"})
+            handle.request({"op": "query", "query": "anc(john, X)?"})
+            stats = handle.stats()
+            for key in (
+                "qps", "latency_p50", "latency_p95", "memo_hits",
+                "coalesced", "cold_evaluations", "snapshots_live",
+                "snapshots_published", "view_serves", "version",
+            ):
+                assert key in stats, key
+            assert stats["queries"] == 2
+            assert stats["memo_hits"] == 1
+
+    def test_drain_refuses_new_requests(self):
+        with ServerHandle.start(ANCESTOR) as handle:
+            # enter drain mode without stopping (deterministic window)
+            handle.server._draining = True
+            out = handle.request({"op": "ping"})
+            assert not out["ok"]
+            assert out["error"]["code"] == "shutting_down"
+            assert out["error"]["exit_code"] == 5
+            # stats stays observable while draining
+            assert handle.request({"op": "stats"})["ok"]
+            handle.server._draining = False
+            assert handle.request({"op": "ping"})["ok"]
+
+    def test_shutdown_op_stops_cleanly(self):
+        handle = ServerHandle.start(ANCESTOR)
+        out = handle.request({"op": "shutdown"})
+        assert out["ok"] and out["stopping"]
+        handle._thread.join(timeout=5)
+        assert not handle._thread.is_alive()
+        handle.close()  # idempotent after self-stop
+
+    def test_coalescing_counts_one_evaluation(self):
+        # N identical cold queries in flight together -> 1 evaluation
+        with ServerHandle.start(ANCESTOR) as handle:
+            n = 8
+            results = [None] * n
+            barrier = threading.Barrier(n)
+
+            def fire(i):
+                barrier.wait()
+                results[i] = handle.request(
+                    {"op": "query", "query": "anc(john, X)?",
+                     "options": {"method": "seminaive"}}
+                )
+
+            threads = [
+                threading.Thread(target=fire, args=(i,)) for i in range(n)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert all(r["ok"] and r["row_count"] == 3 for r in results)
+            stats = handle.stats()
+            assert stats["cold_evaluations"] == 1
+            served = {r["served"] for r in results}
+            assert "cold" in served
+            assert (
+                stats["coalesced"] + stats["memo_hits"] == n - 1
+            ), stats
+
+
+class TestTcp:
+    def test_client_roundtrip(self):
+        with ServerHandle.start(ANCESTOR) as handle:
+            host, port = handle.address
+            with ReproClient(host, port) as client:
+                out = client.query("anc(john, X)?")
+                assert out["row_count"] == 3
+                client.assert_facts(["par(zoe, ann)."])
+                assert client.query("anc(john, X)?")["row_count"] == 4
+                assert client.ping()["pong"] is True
+                assert "qps" in client.stats()
+
+    def test_server_error_raises(self):
+        with ServerHandle.start(ANCESTOR) as handle:
+            host, port = handle.address
+            with ReproClient(host, port) as client:
+                with pytest.raises(ServerError) as err:
+                    client.query("anc(john, X", method="auto")
+                assert err.value.exit_code in (1, 2)
+
+    def test_negation_program_served(self):
+        with ServerHandle.start(BOM) as handle:
+            host, port = handle.address
+            with ReproClient(host, port) as client:
+                out = client.query("ok(X)?")
+                assert sorted(r[0] for r in out["rows"]) == [
+                    "engine", "piston"
+                ]
+
+
+# ----------------------------------------------------------------------
+# view serving
+# ----------------------------------------------------------------------
+class TestViewServing:
+    def test_view_served_and_maintained_across_writes(self):
+        with ServerHandle.start(
+            ANCESTOR, materialize=["anc"]
+        ) as handle:
+            out = handle.request({"op": "query", "query": "anc(john, X)?"})
+            assert out["served"] == "view"
+            assert out["row_count"] == 3
+            done = handle.request(
+                {"op": "assert", "facts": ["par(zoe, ann)."]}
+            )
+            assert done["views_published"] == ["anc"]
+            after = handle.request({"op": "query", "query": "anc(john, X)?"})
+            assert after["served"] == "view"
+            assert after["row_count"] == 4
+
+    def test_view_selection_is_exact(self):
+        with ServerHandle.start(
+            ANCESTOR, materialize=["anc"]
+        ) as handle:
+            bound = handle.request(
+                {"op": "query", "query": "anc(john, zoe)?"}
+            )
+            assert bound["served"] == "view"
+            assert bound["rows"] == [[]]  # boolean yes: one empty row
+            miss = handle.request({"op": "query", "query": "anc(zoe, X)?"})
+            assert miss["served"] == "view"
+            assert miss["row_count"] == 0
+
+    def test_explicit_materialized_method_without_view_is_an_error(self):
+        with ServerHandle.start(ANCESTOR) as handle:
+            out = handle.request(
+                {"op": "query", "query": "anc(john, X)?",
+                 "options": {"method": "materialized"}}
+            )
+            assert not out["ok"]
+            assert out["error"]["code"] == "bad_request"
+
+    def test_stale_views_fall_back_cold(self):
+        with ServerHandle.start(
+            ANCESTOR, materialize=["anc"]
+        ) as handle:
+            os.environ["REPRO_FAULT_INJECT"] = "any:1"
+            try:
+                done = handle.request(
+                    {"op": "assert", "facts": ["par(zoe, ann)."]}
+                )
+            finally:
+                del os.environ["REPRO_FAULT_INJECT"]
+            # the maintenance pass aborted: the write committed, but no
+            # stale view was published with the new version
+            assert done["ok"]
+            assert done["views_published"] == []
+            out = handle.request({"op": "query", "query": "anc(john, X)?"})
+            assert out["served"] == "cold"
+            assert out["row_count"] == 4
+
+
+# ----------------------------------------------------------------------
+# writer atomicity under failure
+# ----------------------------------------------------------------------
+class TestWriterAtomicity:
+    def test_bad_fact_mid_batch_rolls_back(self):
+        with ServerHandle.start(ANCESTOR) as handle:
+            server = handle.server
+            before_rows = handle.request(
+                {"op": "query", "query": "anc(john, X)?"}
+            )
+            version = server.snapshots.current_version
+            live_version = server.session.database.version
+            out = handle.request(
+                {"op": "assert",
+                 "facts": ["par(x1, x2).", "par(x2, x3).", "@@@ bad"]}
+            )
+            assert not out["ok"]
+            assert out["error"]["exit_code"] == 2
+            # no new version published; the live database rolled back
+            assert server.snapshots.current_version == version
+            from repro.core.pipeline import unwrap_values
+
+            assert unwrap_values(
+                server.session.database.tuples("par")
+            ) == {("john", "alice"), ("alice", "ted"), ("ted", "zoe")}
+            assert server.session.database.check_integrity()
+            # rollback itself bumps the monotone counter (never rewinds)
+            assert server.session.database.version >= live_version
+            after_rows = handle.request(
+                {"op": "query", "query": "anc(john, X)?"}
+            )
+            assert after_rows["rows"] == before_rows["rows"]
+            assert handle.stats()["mutations_rolled_back"] == 1
+
+    def test_fault_injected_writer_abort_leaves_snapshots_intact(self):
+        with ServerHandle.start(
+            ANCESTOR, materialize=["anc"]
+        ) as handle:
+            server = handle.server
+            baseline = handle.request(
+                {"op": "query", "query": "anc(john, X)?"}
+            )
+            os.environ["REPRO_FAULT_INJECT"] = "any:1"
+            try:
+                done = handle.request(
+                    {"op": "assert", "facts": ["par(zoe, ann)."]}
+                )
+            finally:
+                del os.environ["REPRO_FAULT_INJECT"]
+            assert done["ok"]
+            assert server.session.database.check_integrity()
+            snap = server.snapshots.current()
+            try:
+                assert snap.db.check_integrity()
+                # the snapshot shows the whole committed batch
+                from repro.core.pipeline import unwrap_values
+
+                assert ("zoe", "ann") in unwrap_values(
+                    snap.db.tuples("par")
+                )
+            finally:
+                snap.release()
+            after = handle.request({"op": "query", "query": "anc(john, X)?"})
+            assert after["row_count"] == baseline["row_count"] + 1
+
+
+# ----------------------------------------------------------------------
+# snapshot isolation
+# ----------------------------------------------------------------------
+def _rows(database, query, method):
+    session = Session(program=_PROGRAM, database=database, memo_size=1)
+    return session.query(_QUERY_TEXT, method=method).rows
+
+
+_PROGRAM = None
+_QUERY_TEXT = "anc(n0, X)?"
+
+
+def _isolation_fixture(depth=6):
+    from repro.datalog.parser import parse_program
+
+    global _PROGRAM
+    source = (
+        "anc(X, Y) :- par(X, Y).\n"
+        "anc(X, Z) :- par(X, Y), anc(Y, Z).\n"
+    )
+    parsed = parse_program(source)
+    _PROGRAM = parsed.program
+    db = chain_db(depth)
+    session = Session(program=parsed.program, database=db)
+    return session, db
+
+
+class TestSnapshotIsolation:
+    @pytest.mark.parametrize("method", ["seminaive", "supplementary_magic"])
+    def test_pinned_reader_sees_frozen_rows(self, method):
+        session, db = _isolation_fixture()
+        manager = SnapshotManager(db)
+        manager.publish()
+        pinned = manager.current()
+        expected = _rows(pinned.db, _QUERY_TEXT, method)
+        # the writer advances several versions under the reader
+        for step in range(3):
+            session.assert_("par", f"x{step}", f"x{step + 1}")
+            manager.publish()
+            assert _rows(pinned.db, _QUERY_TEXT, method) == expected
+        session.retract("par", "n0", "n1")
+        manager.publish()
+        assert _rows(pinned.db, _QUERY_TEXT, method) == expected
+        # a fresh reader sees the new version
+        fresh = manager.current()
+        assert _rows(fresh.db, _QUERY_TEXT, method) != expected
+        fresh.release()
+        pinned.release()
+
+    def test_pinned_reader_concurrent_with_writer_thread(self):
+        session, db = _isolation_fixture(depth=30)
+        manager = SnapshotManager(db)
+        manager.publish()
+        pinned = manager.current()
+        expected = _rows(pinned.db, _QUERY_TEXT, "seminaive")
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                got = _rows(pinned.db, _QUERY_TEXT, "seminaive")
+                if got != expected:
+                    failures.append(got)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for step in range(40):
+            if step % 3 == 2:
+                session.retract("par", f"m{step - 1}", f"m{step}")
+            else:
+                session.assert_("par", f"m{step}", f"m{step + 1}")
+            manager.publish()
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not failures
+        assert _rows(pinned.db, _QUERY_TEXT, "seminaive") == expected
+        assert db.check_integrity()
+        pinned.release()
+
+    def test_view_served_path_is_isolated(self):
+        with ServerHandle.start(
+            ANCESTOR, materialize=["anc"]
+        ) as handle:
+            server = handle.server
+            pinned = server.snapshots.current()
+            try:
+                frozen_view = pinned.views["anc"]
+                before = set(frozen_view)
+                handle.request(
+                    {"op": "assert", "facts": ["par(zoe, ann)."]}
+                )
+                # the pinned version's frozen view is untouched by the
+                # maintenance pass that produced the next version
+                assert set(frozen_view) == before
+                out = handle.request(
+                    {"op": "query", "query": "anc(john, X)?"}
+                )
+                assert out["served"] == "view"
+                assert out["row_count"] == 4  # new version sees the write
+            finally:
+                pinned.release()
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        script=st.lists(
+            st.tuples(
+                st.sampled_from(["assert", "retract"]),
+                st.integers(min_value=0, max_value=9),
+                st.integers(min_value=0, max_value=9),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_random_mutation_scripts_never_leak(self, script):
+        """Property: whatever the writer does, a pinned reader's rows
+        never change, on the cold paths and the view-served path."""
+        session, db = _isolation_fixture(depth=5)
+        view_session = Session(program=_PROGRAM, database=db)
+        view_session.materialize("anc")
+        manager = SnapshotManager(db)
+        manager.publish(view_session.materialized_relations())
+        pinned = manager.current()
+        expected = {
+            method: _rows(pinned.db, _QUERY_TEXT, method)
+            for method in ("seminaive", "supplementary_magic")
+        }
+        from repro.server.scheduler import _select_from_relation
+        from repro.datalog.parser import parse_query
+
+        query = parse_query(_QUERY_TEXT)
+        expected_view = _select_from_relation(
+            pinned.views["anc"], query
+        )
+        assert expected_view == expected["seminaive"]
+        for op, a, b in script:
+            fact = ("par", f"p{a}", f"p{b}")
+            if op == "assert":
+                view_session.assert_(*fact)
+            else:
+                view_session.retract(*fact)
+            manager.publish(view_session.materialized_relations())
+            for method, rows in expected.items():
+                assert _rows(pinned.db, _QUERY_TEXT, method) == rows
+            assert (
+                _select_from_relation(pinned.views["anc"], query)
+                == expected_view
+            )
+        assert db.check_integrity()
+        assert pinned.db.check_integrity()
+        pinned.release()
+
+
+# ----------------------------------------------------------------------
+# writer rollback unit (no asyncio)
+# ----------------------------------------------------------------------
+class TestRollbackUnit:
+    def test_inverse_replay_restores_contents(self):
+        session, db = _isolation_fixture(depth=3)
+        before = db.tuples("par")
+        log = db.start_mutation_log()
+        session.assert_("par", "q1", "q2")
+        session.retract("par", "n0", "n1")
+        db.stop_mutation_log(log)
+        MutationScheduler._rollback(db, log)
+        assert db.tuples("par") == before
+        assert db.check_integrity()

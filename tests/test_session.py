@@ -8,6 +8,8 @@ engine configurations, and the legacy one-shot shims staying
 answer-identical.
 """
 
+import os
+
 import pytest
 
 from repro import (
@@ -601,3 +603,62 @@ class TestRewriteCaches:
         result = session.query("anc(john, X)?", method="qsq")
         assert len(session._adorned) == 1
         assert ("zoe",) in result.values()
+
+
+class TestLifecycle:
+    """close() / context manager (the server's session-recycling hook)."""
+
+    def test_context_manager_closes(self):
+        with ancestor_session() as session:
+            view = session.materialize("anc")
+            # seminaive bypasses the view fast path, so it memoizes
+            session.query("anc(john, X)?", method="seminaive")
+            assert session._memo
+            assert session._materializer is not None
+        assert session._materializer is None
+        assert not session._memo
+        assert view.dropped
+        # the mutation log is detached from the database
+        assert session.database._mutation_logs == ()
+
+    def test_close_is_idempotent_and_session_stays_usable(self):
+        session = ancestor_session()
+        session.materialize("anc")
+        session.query("anc(john, X)?")
+        session.close()
+        session.close()
+        result = session.query("anc(john, X)?")
+        assert result.values() == {("mary",), ("sue",), ("ann",)}
+        assert not result.maintained
+
+    def test_close_drops_dispatch_caches(self):
+        session = ancestor_session()
+        session.query("anc(john, X)?", method="supplementary_magic")
+        assert session._rewritten
+        session.close()
+        assert not session._rewritten
+        assert not session._adorned
+        assert not session._auto_choice
+
+    def test_materialized_relations_publishes_fresh_copies(self):
+        session = ancestor_session()
+        session.materialize("anc")
+        published = session.materialized_relations()
+        assert set(published) == {"anc"}
+        frozen = published["anc"]
+        session.assert_("par(ann, zoe)")
+        # the copy is frozen; the maintained state moved on
+        assert len(frozen) == 6
+        assert len(session.materialized_relations()["anc"]) == 10
+
+    def test_materialized_relations_empty_when_stale_or_absent(self):
+        session = ancestor_session()
+        assert session.materialized_relations() == {}
+        session.materialize("anc")
+        os.environ["REPRO_FAULT_INJECT"] = "any:1"
+        try:
+            session.assert_("par(ann, zoe)")
+        finally:
+            del os.environ["REPRO_FAULT_INJECT"]
+        # the maintenance pass aborted: stale state is never published
+        assert session.materialized_relations() == {}
