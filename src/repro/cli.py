@@ -169,6 +169,12 @@ def build_parser() -> argparse.ArgumentParser:
         "machine-readable twin of --stats",
     )
     p_query.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="evaluate bottom-up strata on N pool workers (sharded "
+        "semi-naive rounds; answers and counters identical to serial; "
+        "default 1 = in-process serial)",
+    )
+    p_query.add_argument(
         "--no-planner", action="store_true",
         help="run the legacy interpretive join instead of compiled join "
         "plans (A/B comparison; answers are identical)",
@@ -260,6 +266,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="reader worker threads (default 4)",
     )
     p_serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="pool workers per bottom-up evaluation (default 1: "
+        "serial; parallelism across requests comes from --readers)",
+    )
+    p_serve.add_argument(
         "--max-timeout", type=float, default=None, metavar="SECONDS",
         help="cap on the per-request wall-clock budget clients may ask "
         "for (and the default when they ask for none)",
@@ -345,6 +356,7 @@ def _cmd_query(args) -> int:
             semijoin=args.semijoin,
             optimize=not args.no_optimize,
             max_iterations=args.max_iterations,
+            workers=args.workers,
             timeout=args.timeout,
             max_facts=args.max_facts,
         )
@@ -384,6 +396,18 @@ def _cmd_query(args) -> int:
             "plan_cache_misses": (
                 stats.plan_cache_misses if stats is not None else None
             ),
+            "workers": (
+                stats.parallel_workers if stats is not None else None
+            ),
+            "parallel_backend": (
+                stats.parallel_backend if stats is not None else None
+            ),
+            "parallel_tasks": (
+                stats.parallel_tasks if stats is not None else None
+            ),
+            "parallel_rows_shipped": (
+                stats.parallel_rows_shipped if stats is not None else None
+            ),
         }
         import json as _json
 
@@ -414,6 +438,16 @@ def _cmd_query(args) -> int:
                 f"iterations={stats.iterations} "
                 f"probes={stats.join_probes}"
             )
+            if stats.parallel_workers:
+                work += (
+                    f" workers={stats.parallel_workers}"
+                    f" backend={stats.parallel_backend}"
+                    f" parallel_tasks={stats.parallel_tasks}"
+                    f" rows_shipped={stats.parallel_rows_shipped}"
+                )
+                if stats.parallel_fallback:
+                    fb = stats.parallel_fallback
+                    work += f" parallel_fallback={fb!r}"
         # on a memo-served result the work counters describe the cold
         # evaluation that produced the rows, hence the memo= label
         print(
@@ -560,6 +594,7 @@ def _cmd_serve(args) -> int:
         host=args.host,
         port=args.port,
         reader_threads=args.readers,
+        workers=args.workers,
         memo_size=args.memo_size,
         max_timeout=args.max_timeout,
         max_facts=args.max_facts,

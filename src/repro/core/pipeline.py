@@ -170,6 +170,7 @@ def answer_query(
     max_facts: Optional[int] = None,
     use_planner: bool = True,
     plan_cache=None,
+    workers: int = 1,
     timeout: Optional[float] = None,
     budget=None,
     on_budget_exceeded: Optional[str] = None,
@@ -225,6 +226,7 @@ def answer_query(
         semijoin=semijoin,
         max_iterations=max_iterations,
         max_facts=max_facts,
+        workers=workers,
         timeout=timeout,
         budget=budget,
         on_budget_exceeded=on_budget_exceeded,
@@ -241,11 +243,15 @@ def bottom_up_answer(
     use_planner: bool = True,
     plan_cache=None,
     meter=None,
+    workers: int = 1,
 ) -> QueryAnswer:
     """The Section 1 strawman: evaluate everything, then select.
 
     ``meter`` is an optional :class:`repro.core.limits.BudgetMeter`
-    checked at the engine's round/batch boundaries.
+    checked at the engine's round/batch boundaries.  ``workers`` > 1
+    evaluates on the sharded worker pool
+    (:mod:`repro.datalog.parallel`) with identical answers and
+    counters.
     """
     result = evaluate(
         program,
@@ -256,6 +262,7 @@ def bottom_up_answer(
         use_planner=use_planner,
         plan_cache=plan_cache,
         meter=meter,
+        workers=workers,
     )
     return QueryAnswer(
         answers=answer_tuples(result, query.literal),

@@ -713,13 +713,24 @@ class Relation:
     def estimated_bytes(self) -> int:
         """Coarse storage estimate for the memory budget.
 
-        Counts 8 bytes per column cell and per index-bucket slot plus a
-        flat per-row charge for the rowmap entry; O(#indexes), never
-        walks buckets, so it is cheap enough for a per-round check.
+        Counts 8 bytes per column cell, then per index: 8 bytes per
+        bucket slot (every stored row appears in every index exactly
+        once) *plus* a flat per-bucket charge -- each distinct key owns
+        an ``array('q')`` object (~64 bytes of header) and a dict entry
+        (~50 bytes amortized), which dominates on indexes with small
+        buckets and used to be dropped entirely, letting
+        ``max_memory_bytes`` budgets undercount index-heavy workloads
+        by several x.  ``len(index)`` is the bucket count, so this stays
+        O(#indexes) and never walks buckets -- cheap enough for a
+        per-round check.  A flat per-row charge covers the rowmap entry
+        (key tuple + dict slot).
         """
         n = len(self._live)
         arity = self.arity or 0
-        return 8 * arity * n + 8 * n * len(self._indexes) + 96 * len(self._rowmap)
+        total = 8 * arity * n + 96 * len(self._rowmap)
+        for index in self._indexes.values():
+            total += 8 * n + 114 * len(index)
+        return total
 
     def check_invariants(self) -> bool:
         """Verify the columnar storage invariants; raises IntegrityError.

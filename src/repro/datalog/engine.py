@@ -103,6 +103,22 @@ class EvaluationStats:
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
     facts_by_predicate: Dict[str, int] = field(default_factory=dict)
+    #: effective worker count of the parallel tier (0 = serial run)
+    parallel_workers: int = 0
+    #: backend the pool ran on ("fork" / "thread"; "" = serial)
+    parallel_backend: str = ""
+    #: shard/batch work items executed by workers
+    parallel_tasks: int = 0
+    #: batches merged through the parallel path
+    parallel_batches: int = 0
+    #: ID rows that crossed a worker boundary (results + broadcasts)
+    parallel_rows_shipped: int = 0
+    #: parent-side seconds spent flattening/shipping/unflattening rows
+    parallel_ship_seconds: float = 0.0
+    #: why a requested parallel run fell back ("" = none needed)
+    parallel_fallback: str = ""
+    #: rows emitted per worker index (shard-balance instrumentation)
+    parallel_worker_rows: Dict[int, int] = field(default_factory=dict)
 
     def record_fact(self, pred_key: str) -> None:
         self.facts_derived += 1
@@ -355,6 +371,20 @@ def _evaluation_strata(
     return rule_strata
 
 
+def _parallel_requested(
+    workers: Optional[int], use_planner: bool, vectorized: bool
+) -> bool:
+    """Whether a ``workers=N`` request can take the parallel tier.
+
+    The pool executes compiled batch plans only; the legacy and
+    row-at-a-time paths are A/B baselines and stay serial (the request
+    is recorded on the stats as a fallback instead of erroring).
+    """
+    return (
+        workers is not None and workers > 1 and use_planner and vectorized
+    )
+
+
 def evaluate_naive(
     program: Program,
     database: Database,
@@ -364,6 +394,8 @@ def evaluate_naive(
     plan_cache: Optional[PlanCache] = None,
     vectorized: bool = True,
     meter=None,
+    workers: Optional[int] = None,
+    parallel_backend: str = "auto",
 ) -> EvaluationResult:
     """Naive bottom-up fixpoint: all rules against all facts, each round.
 
@@ -381,9 +413,24 @@ def evaluate_naive(
     every fixpoint-round boundary and ``check_batch`` at rule/batch
     boundaries, each free to abort by raising.  Evaluation runs on a
     copy of ``database``, so an abort installs nothing.
+
+    ``workers`` > 1 runs each round's batches on the parallel tier
+    (:mod:`repro.datalog.parallel`); fact sets and the solution counters
+    (``facts_derived`` / ``rule_firings`` / ``duplicate_derivations`` /
+    ``iterations``) are identical to the serial run by construction.
     """
+    if _parallel_requested(workers, use_planner, vectorized):
+        from .parallel import evaluate_parallel
+
+        return evaluate_parallel(
+            program, database, method="naive", workers=workers,
+            backend=parallel_backend, max_iterations=max_iterations,
+            max_facts=max_facts, plan_cache=plan_cache, meter=meter,
+        )
     working = database.copy()
     stats = EvaluationStats()
+    if workers is not None and workers > 1:
+        stats.parallel_fallback = "row path is serial-only"
     derived_keys = program.derived_predicates()
     compiled: Optional[CompiledProgram] = None
     if use_planner:
@@ -542,6 +589,8 @@ def evaluate_seminaive(
     plan_cache: Optional[PlanCache] = None,
     vectorized: bool = True,
     meter=None,
+    workers: Optional[int] = None,
+    parallel_backend: str = "auto",
 ) -> EvaluationResult:
     """Semi-naive bottom-up fixpoint (differential evaluation).
 
@@ -558,9 +607,23 @@ def evaluate_seminaive(
 
     ``meter`` -- optional budget meter checked at round and rule/batch
     boundaries, as in :func:`evaluate_naive`.
+
+    ``workers`` > 1 fans each round's delta batches out to the parallel
+    tier (:mod:`repro.datalog.parallel`), preserving fact sets and the
+    solution counters exactly; see :func:`evaluate_naive`.
     """
+    if _parallel_requested(workers, use_planner, vectorized):
+        from .parallel import evaluate_parallel
+
+        return evaluate_parallel(
+            program, database, method="seminaive", workers=workers,
+            backend=parallel_backend, max_iterations=max_iterations,
+            max_facts=max_facts, plan_cache=plan_cache, meter=meter,
+        )
     working = database.copy()
     stats = EvaluationStats()
+    if workers is not None and workers > 1:
+        stats.parallel_fallback = "row path is serial-only"
     derived_keys = program.derived_predicates()
     compiled: Optional[CompiledProgram] = None
     delta_positions: Dict[str, Tuple[Tuple[int, ...], ...]] = {}
@@ -722,17 +785,19 @@ def evaluate(
     plan_cache: Optional[PlanCache] = None,
     vectorized: bool = True,
     meter=None,
+    workers: Optional[int] = None,
+    parallel_backend: str = "auto",
 ) -> EvaluationResult:
     """Dispatch to a bottom-up strategy by name."""
     if method == "naive":
         return evaluate_naive(
             program, database, max_iterations, max_facts, use_planner,
-            plan_cache, vectorized, meter,
+            plan_cache, vectorized, meter, workers, parallel_backend,
         )
     if method == "seminaive":
         return evaluate_seminaive(
             program, database, max_iterations, max_facts, use_planner,
-            plan_cache, vectorized, meter,
+            plan_cache, vectorized, meter, workers, parallel_backend,
         )
     raise ValueError(f"unknown evaluation method {method!r}")
 

@@ -1,0 +1,913 @@
+"""Parallel bottom-up evaluation: a sharded worker pool over columns.
+
+Within one semi-naive round, rule firings are independent given the
+previous delta: every batch (one compiled :class:`JoinPlan` against one
+delta or one full relation) computes a solution multiset that depends
+only on the database state at the start of the round's current *group*
+(below).  This module exploits that by fanning each round's batches out
+to a persistent pool of workers and merging the derived ID rows back
+through the existing dedup/rowmap path in the parent -- the fact set
+and the solution counters (``facts_derived`` / ``rule_firings`` /
+``duplicate_derivations`` / ``iterations``) are identical to the serial
+engine *by construction*, because sharding partitions each batch's
+input rows exactly and merging replays the serial batch order.
+
+Two backends share one driver:
+
+* **fork** (default on CPython with the GIL): worker processes are
+  forked *after* the working copy, the compiled plans, and all
+  compile-time constants exist, so the EDB columns, the plan objects,
+  and the :class:`~repro.datalog.catalog.TermCatalog` prefix reach every
+  worker by copy-on-write at zero serialization cost (this subsumes an
+  explicit ``shared_memory`` export of the big EDB relations; the
+  catalog's pinned prefix is the one-shot export --
+  :meth:`TermCatalog.export_state` is the spawn-ready equivalent).  Per
+  round, the parent broadcasts only the *fresh* rows of each merge as
+  flat ``array('q')`` buffers (pickled as raw bytes) so worker replicas
+  stay in lockstep, and workers return candidate-fresh rows the same
+  way, pre-deduplicated against their replica to cut return traffic.
+  Workers never intern: plans that allocate term IDs at run time
+  (:func:`~repro.datalog.planner.plan_interns_terms`) would grow
+  worker-local ID spaces that disagree with the parent, so such
+  programs fall back to the thread backend.
+* **thread** (auto-selected on free-threaded builds, and the fallback
+  wherever fork is unavailable or unsafe): workers execute against the
+  *shared* working database between merge barriers -- no replicas, no
+  broadcasts; real parallelism arrives when the GIL is off.
+
+Work splitting per batch, chosen by the join planner
+(:func:`~repro.datalog.planner.partition_columns`):
+
+* **hash**: the input rows are hash-partitioned on the column(s) that
+  feed the next step's probe key, so each distinct join key lands on
+  exactly one worker and the per-shard probe sets stay disjoint;
+* **chunk**: no downstream probe keys on an input column (copy rules,
+  pure filters) -- any split is equally good, so rows round-robin;
+* **solo**: a downstream step probes on keys the input does not supply
+  (partitioning cannot co-locate them) -- the whole batch goes to one
+  worker and parallelism comes from running *rules* side by side.
+
+Visibility groups keep the serial semantics exact: the serial engine
+merges each batch before the next batch runs, so a batch that probes a
+relation an *earlier* batch of the same round writes must observe that
+merge.  Batches are therefore grouped greedily -- a batch joins the
+current group unless it reads a head some earlier group member writes
+-- and the parent merges (and, on fork, broadcasts) at each group
+boundary.  Linear recursions parallelize whole rounds; non-linear ones
+degrade to per-batch barriers, never to wrong answers.
+
+The budget regime stays in the parent: ``meter.check_round`` /
+``check_batch`` run at exactly the serial boundaries (one batch check
+per batch, before dispatch), the wall-clock deadline is shipped to
+workers with every ``exec`` message (they abort between work items),
+and any abort -- budget trip, cancellation, injected fault, worker
+death -- unwinds through a ``finally`` that tears the pool down while
+the caller's database, never touched, stays integral.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from itertools import islice
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from concurrent.futures import ThreadPoolExecutor
+
+from .ast import Program
+from .catalog import term_catalog
+from .database import Database, IdTuple
+from .engine import (
+    EvaluationResult,
+    EvaluationStats,
+    _check_budget,
+    _compiled_for,
+    _IdDeltaBatch,
+)
+from .errors import EvaluationError
+from .planner import (
+    CompiledProgram,
+    JoinPlan,
+    PlanCache,
+    compile_rule,
+    partition_columns,
+    plan_interns_terms,
+)
+
+__all__ = ["evaluate_parallel", "resolve_backend"]
+
+from array import array
+
+_MIX = 0x9E3779B97F4A7C15
+_MASK = (1 << 64) - 1
+
+
+def resolve_backend(backend: str = "auto") -> str:
+    """Resolve ``"auto"`` to a concrete pool backend for this build.
+
+    Threads when the GIL is disabled (free-threaded CPython) or fork is
+    unavailable; forked processes otherwise.
+    """
+    if backend in ("fork", "thread"):
+        return backend
+    if backend != "auto":
+        raise ValueError(f"unknown parallel backend {backend!r}")
+    gil_enabled = getattr(sys, "_is_gil_enabled", None)
+    if gil_enabled is not None and not gil_enabled():
+        return "thread"
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return "thread"
+    return "fork"
+
+
+# ----------------------------------------------------------------------
+# row shipping and sharding
+# ----------------------------------------------------------------------
+
+def _flatten(rows: List[IdTuple]) -> array:
+    buf = array("q")
+    for row in rows:
+        buf.extend(row)
+    return buf
+
+
+def _unflatten(buf: array, arity: int, count: int) -> List[IdTuple]:
+    if arity == 0:
+        return [()] * count
+    it = iter(buf)
+    return list(zip(*([it] * arity)))
+
+
+def _shard_index(row: IdTuple, pcols: Tuple[int, ...], workers: int) -> int:
+    h = 0
+    for p in pcols:
+        h = ((h ^ row[p]) * _MIX) & _MASK
+    return (h >> 32) % workers
+
+
+def _hash_filter(rows, pcols, workers: int, w: int) -> List[IdTuple]:
+    """The shard of ``rows`` worker ``w`` owns under hash partitioning.
+
+    Term IDs are small dense ints, so the raw value mod ``workers``
+    would stripe structured workloads badly; a Fibonacci-style mix of
+    the partition columns spreads them.
+    """
+    if len(pcols) == 1:
+        (p,) = pcols
+        return [
+            r for r in rows
+            if (((r[p] * _MIX) & _MASK) >> 32) % workers == w
+        ]
+    return [
+        r for r in rows if _shard_index(r, pcols, workers) == w
+    ]
+
+
+def _hash_shards(rows, pcols, workers: int) -> List[List[IdTuple]]:
+    """All workers' hash shards at once (the parent-side splitter)."""
+    shards: List[List[IdTuple]] = [[] for _ in range(workers)]
+    if len(pcols) == 1:
+        (p,) = pcols
+        for r in rows:
+            shards[(((r[p] * _MIX) & _MASK) >> 32) % workers].append(r)
+    else:
+        for r in rows:
+            shards[_shard_index(r, pcols, workers)].append(r)
+    return shards
+
+
+def _rows_batch(rows: List[IdTuple]) -> _IdDeltaBatch:
+    batch = _IdDeltaBatch()
+    batch.rows = rows
+    return batch
+
+
+# ----------------------------------------------------------------------
+# per-program shard planning
+# ----------------------------------------------------------------------
+
+def _shard_mode(plan: JoinPlan) -> Tuple[str, Optional[Tuple[int, ...]]]:
+    """How to split this plan's input rows across workers."""
+    if not plan.steps or plan.steps[0].negated:
+        return ("solo", None)
+    pcols = partition_columns(plan)
+    if pcols is not None:
+        return ("hash", pcols)
+    for step in plan.steps[1:]:
+        if not step.negated and step.b_key_ops:
+            # a probing step keys on values the input rows do not carry:
+            # splitting would re-probe the same keys on every worker
+            return ("solo", None)
+    return ("chunk", None)
+
+
+class _ProgramShards:
+    """Shard plans and split modes for one compiled program.
+
+    ``shard_plans[rule_index]`` re-compiles the rule with its first
+    *positive* body literal (in plan order) as the delta occurrence, so
+    a full-relation batch -- round one, and every naive round -- can be
+    executed as N disjoint input shards; solution multisets are
+    join-order independent, so the per-rule counters stay exact.  Built
+    in the parent before the pool forks: plan compilation interns its
+    constant terms, and those IDs must exist in every worker's
+    inherited catalog prefix.
+    """
+
+    __slots__ = ("shard_plans", "full_pivot", "full_modes", "delta_modes")
+
+    def __init__(self, program: Program, compiled: CompiledProgram):
+        self.shard_plans: Dict[int, JoinPlan] = {}
+        self.full_pivot: Dict[int, Optional[int]] = {}
+        self.full_modes: Dict[int, Tuple[str, Optional[Tuple[int, ...]]]] = {}
+        self.delta_modes: Dict[
+            Tuple[int, int], Tuple[str, Optional[Tuple[int, ...]]]
+        ] = {}
+        for rule_index, rule in enumerate(program.rules):
+            plan = compiled.plan(rule_index)
+            pivot = next(
+                (i for i in plan.order if not rule.body[i].negated), None
+            )
+            self.full_pivot[rule_index] = pivot
+            if pivot is None:
+                self.full_modes[rule_index] = ("solo", None)
+            else:
+                try:
+                    shard_plan = compiled.plan(rule_index, pivot)
+                except KeyError:
+                    shard_plan = compile_rule(rule, pivot)
+                self.shard_plans[rule_index] = shard_plan
+                self.full_modes[rule_index] = _shard_mode(shard_plan)
+            for occ in compiled.delta_occurrences(rule_index):
+                self.delta_modes[(rule_index, occ)] = _shard_mode(
+                    compiled.plan(rule_index, occ)
+                )
+
+    def all_plans(self, program: Program, compiled: CompiledProgram):
+        for rule_index in range(len(program.rules)):
+            yield compiled.plan(rule_index)
+            for occ in compiled.delta_occurrences(rule_index):
+                yield compiled.plan(rule_index, occ)
+        yield from self.shard_plans.values()
+
+
+def _replica_preds(
+    program: Program, compiled: CompiledProgram, shards: _ProgramShards
+) -> FrozenSet[str]:
+    """Derived predicates fork workers must maintain as real relations.
+
+    A worker replica needs columns/rowmap/indexes only for derived
+    predicates some plan *probes* (non-delta steps, anti-joins, or the
+    shard pivot a full batch reads its input rows from); everything
+    else -- e.g. the closure predicate of a linear recursion -- is only
+    needed for result pre-deduplication, which a plain shadow set of
+    rows covers at a fraction of the apply cost.
+    """
+    probed: Set[str] = set()
+    for plan in shards.all_plans(program, compiled):
+        for step in plan.steps:
+            if not step.is_delta:
+                probed.add(step.pred_key)
+    for rule_index, pivot in shards.full_pivot.items():
+        if pivot is not None:
+            probed.add(program.rules[rule_index].body[pivot].pred_key)
+    return frozenset(probed & compiled.derived_keys)
+
+
+# ----------------------------------------------------------------------
+# work items
+# ----------------------------------------------------------------------
+
+class _BatchTask:
+    """One batch of one round: a rule (full) or rule/delta work item."""
+
+    __slots__ = ("task_id", "rule_index", "delta_index", "head_key",
+                 "kind", "input_pred", "mode", "pcols", "solo", "reads")
+
+    def __init__(self, task_id, rule_index, delta_index, head_key, kind,
+                 input_pred, mode, pcols, solo, reads):
+        self.task_id = task_id
+        self.rule_index = rule_index
+        self.delta_index = delta_index
+        self.head_key = head_key
+        #: "full" (input = the pivot relation) or "delta" (= the delta)
+        self.kind = kind
+        self.input_pred = input_pred
+        #: "hash" / "chunk" / "solo" (see module docstring)
+        self.mode = mode
+        self.pcols = pcols
+        #: worker index owning the batch when mode == "solo"
+        self.solo = solo
+        #: same-stratum heads this batch probes as full relations; the
+        #: grouping uses it to replay serial within-round visibility
+        self.reads = reads
+
+    def descriptor(self):
+        return (self.task_id, self.rule_index, self.delta_index, self.kind,
+                self.input_pred, self.mode, self.pcols, self.solo)
+
+
+def _full_task(task_id, rule_index, program, shards, stratum_heads, workers):
+    rule = program.rules[rule_index]
+    mode, pcols = shards.full_modes[rule_index]
+    pivot = shards.full_pivot[rule_index]
+    input_pred = rule.body[pivot].pred_key if pivot is not None else None
+    reads = frozenset(
+        literal.pred_key for literal in rule.body if not literal.negated
+    ) & stratum_heads
+    return _BatchTask(
+        task_id, rule_index, None, rule.head.pred_key, "full", input_pred,
+        mode, pcols, task_id % workers, reads,
+    )
+
+
+def _delta_task(task_id, rule_index, occ, program, compiled, shards,
+                stratum_heads, workers):
+    rule = program.rules[rule_index]
+    plan = compiled.plan(rule_index, occ)
+    mode, pcols = shards.delta_modes[(rule_index, occ)]
+    reads = frozenset(
+        step.pred_key for step in plan.steps
+        if not step.is_delta and not step.negated
+    ) & stratum_heads
+    return _BatchTask(
+        task_id, rule_index, occ, rule.head.pred_key, "delta",
+        rule.body[occ].pred_key, mode, pcols, task_id % workers, reads,
+    )
+
+
+def _visibility_groups(tasks: List[_BatchTask]) -> List[List[_BatchTask]]:
+    """Split a round's batches into serial-order barrier groups.
+
+    A batch joins the current group unless it reads (as a full
+    relation) a head some earlier member writes; the serial engine
+    would have merged that head before this batch ran, so the group
+    flushes first.  Within a group nothing is merged, so every member
+    sees exactly the group-start state -- the state the serial engine
+    shows it too.
+    """
+    groups: List[List[_BatchTask]] = []
+    current: List[_BatchTask] = []
+    heads: Set[str] = set()
+    for task in tasks:
+        if current and (task.reads & heads):
+            groups.append(current)
+            current = []
+            heads = set()
+        current.append(task)
+        heads.add(task.head_key)
+    if current:
+        groups.append(current)
+    return groups
+
+
+# ----------------------------------------------------------------------
+# shard execution (shared by both backends; runs inside workers)
+# ----------------------------------------------------------------------
+
+def _execute_shard(plan, database, rows, deadline):
+    """Run one plan over one input shard; returns (rows, probes, scanned).
+
+    ``rows is None`` executes the plan as a plain full batch (the solo
+    path for rules with no shardable pivot).  Returns None when the
+    deadline already passed -- the caller reports the abort and the
+    parent's meter turns it into the structured budget error.
+    """
+    if deadline is not None and time.monotonic() > deadline:
+        return None
+    lstats = EvaluationStats()
+    if rows is None:
+        out = plan.execute_batch(database, lstats)
+    else:
+        if not rows:
+            return ([], 0, 0)
+        out = plan.execute_batch(database, lstats, _rows_batch(rows))
+    return (out, lstats.join_probes, lstats.tuples_scanned)
+
+
+# ----------------------------------------------------------------------
+# thread backend
+# ----------------------------------------------------------------------
+
+class _ThreadBackend:
+    """Workers as threads over the *shared* working database.
+
+    Correct on any build (group barriers mean workers only read while
+    the parent only writes between groups; concurrent lazy index builds
+    are value-idempotent); actually parallel on free-threaded CPython.
+    """
+
+    kind = "thread"
+
+    def __init__(self, working, compiled, shards, workers):
+        self.working = working
+        self.compiled = compiled
+        self.shards = shards
+        self.workers = workers
+        self.deltas: Dict[str, List[IdTuple]] = {}
+        self.pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-parallel"
+        )
+
+    def roll_round(self, deltas: Dict[str, List[IdTuple]]) -> None:
+        self.deltas = deltas
+
+    def apply_fresh(self, updates, stats) -> None:
+        pass  # shared memory: the parent's merge is already visible
+
+    def _plan_and_rows(self, task):
+        if task.kind == "full":
+            if task.mode == "solo":
+                return self.compiled.plan(task.rule_index), None
+            relation = self.working.get(task.input_pred)
+            rows = list(relation.id_rows()) if relation is not None else []
+            return self.shards.shard_plans[task.rule_index], rows
+        plan = self.compiled.plan(task.rule_index, task.delta_index)
+        return plan, self.deltas.get(task.input_pred, [])
+
+    def run_group(self, group, stats, deadline):
+        submit = self.pool.submit
+        pending = []
+        for task in group:
+            plan, rows = self._plan_and_rows(task)
+            if rows is None or task.mode == "solo":
+                pending.append((task, task.solo, submit(
+                    _execute_shard, plan, self.working, rows, deadline,
+                )))
+                continue
+            if task.mode == "hash":
+                per_worker = _hash_shards(rows, task.pcols, self.workers)
+            else:
+                per_worker = [
+                    rows[w::self.workers] for w in range(self.workers)
+                ]
+            for w, shard in enumerate(per_worker):
+                if shard:
+                    pending.append((task, w, submit(
+                        _execute_shard, plan, self.working, shard, deadline,
+                    )))
+        results = {task.task_id: (0, []) for task in group}
+        aborted = False
+        for task, w, future in pending:
+            out = future.result()
+            if out is None:
+                aborted = True
+                continue
+            rows_out, probes, scanned = out
+            n_emitted, merged = results[task.task_id]
+            merged.extend(rows_out)
+            results[task.task_id] = (n_emitted + len(rows_out), merged)
+            stats.rule_firings += len(rows_out)
+            stats.join_probes += probes
+            stats.tuples_scanned += scanned
+            stats.parallel_tasks += 1
+            stats.parallel_rows_shipped += len(rows_out)
+            stats.parallel_worker_rows[w] = (
+                stats.parallel_worker_rows.get(w, 0) + len(rows_out)
+            )
+        return results, aborted
+
+    def close(self) -> None:
+        self.pool.shutdown(wait=True, cancel_futures=True)
+
+
+# ----------------------------------------------------------------------
+# fork backend
+# ----------------------------------------------------------------------
+
+class _WorkerState:
+    """Everything a forked worker inherits by copy-on-write."""
+
+    __slots__ = ("working", "compiled", "shards", "replica_preds",
+                 "workers", "catalog_pin")
+
+    def __init__(self, working, compiled, shards, replica_preds, workers,
+                 catalog_pin):
+        self.working = working
+        self.compiled = compiled
+        self.shards = shards
+        self.replica_preds = replica_preds
+        self.workers = workers
+        #: catalog length at the export point; workers assert their
+        #: inherited prefix covers it and never intern past it
+        self.catalog_pin = catalog_pin
+
+
+def _worker_run_task(descriptor, state, deltas, shadow, w):
+    (task_id, rule_index, delta_index, kind, input_pred, mode, pcols,
+     solo) = descriptor
+    working = state.working
+    rows_in: Optional[List[IdTuple]]
+    if kind == "full" and mode == "solo":
+        if w != solo:
+            return None
+        plan = state.compiled.plan(rule_index)
+        rows_in = None
+    else:
+        if kind == "full":
+            plan = state.shards.shard_plans[rule_index]
+            relation = working.get(input_pred)
+            all_rows = relation.id_rows() if relation is not None else ()
+        else:
+            plan = state.compiled.plan(rule_index, delta_index)
+            all_rows = deltas.get(input_pred, ())
+        if mode == "solo":
+            if w != solo:
+                return None
+            rows_in = list(all_rows)
+        elif mode == "hash":
+            rows_in = _hash_filter(all_rows, pcols, state.workers, w)
+        else:
+            rows_in = list(islice(iter(all_rows), w, None, state.workers))
+        if not rows_in:
+            return None
+    out = _execute_shard(plan, working, rows_in, None)
+    rows_out, probes, scanned = out
+    # pre-dedup against the replica's group-start state (plus this
+    # task's own emissions) so only candidate-fresh rows cross the
+    # pipe; the parent's rowmap merge stays the single source of truth
+    # for freshness, so the counters cannot drift
+    head_key = plan.rule.head.pred_key
+    relation = working.get(head_key)
+    if head_key in state.replica_preds and relation is not None:
+        known = relation._rowmap
+    else:
+        known = shadow.get(head_key, ())
+    fresh: List[IdTuple] = []
+    seen: Set[IdTuple] = set()
+    for row in rows_out:
+        if row in seen or row in known:
+            continue
+        seen.add(row)
+        fresh.append(row)
+    arity = len(fresh[0]) if fresh else 0
+    return (task_id, len(rows_out), probes, scanned, len(fresh), arity,
+            _flatten(fresh))
+
+
+def _worker_main(conn, state: _WorkerState, w: int) -> None:
+    catalog = term_catalog()
+    if len(catalog) < state.catalog_pin:
+        conn.send(("error", RuntimeError(
+            f"worker {w}: inherited catalog shorter than the export pin"
+        )))
+        return
+    shadow: Dict[str, Set[IdTuple]] = {}
+    deltas: Dict[str, List[IdTuple]] = {}
+    next_deltas: Dict[str, List[IdTuple]] = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        tag = msg[0]
+        if tag == "stop":
+            break
+        if tag == "roll":
+            deltas = next_deltas
+            next_deltas = {}
+            continue
+        if tag == "apply":
+            for pred, count, arity, buf in msg[1]:
+                rows = _unflatten(buf, arity, count)
+                next_deltas.setdefault(pred, []).extend(rows)
+                if pred in state.replica_preds:
+                    state.working.relation(pred).add_id_rows(rows)
+                else:
+                    shadow.setdefault(pred, set()).update(rows)
+            continue
+        # ("exec", deadline, descriptors)
+        _tag, deadline, descriptors = msg
+        entries = []
+        aborted = False
+        try:
+            for descriptor in descriptors:
+                if deadline is not None and time.monotonic() > deadline:
+                    aborted = True
+                    break
+                entry = _worker_run_task(descriptor, state, deltas, shadow, w)
+                if entry is not None:
+                    entries.append(entry)
+        except BaseException as exc:
+            try:
+                conn.send(("error", exc))
+            except Exception:
+                conn.send(("error", repr(exc)))
+            continue
+        conn.send(("done", aborted, entries))
+
+
+class _ForkBackend:
+    """Workers as forked processes with copy-on-write replicas."""
+
+    kind = "fork"
+
+    def __init__(self, working, compiled, shards, replica_preds, workers):
+        self.workers = workers
+        ctx = multiprocessing.get_context("fork")
+        state = _WorkerState(
+            working, compiled, shards, replica_preds, workers,
+            len(term_catalog()),
+        )
+        self._conns = []
+        self._procs = []
+        for w in range(workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main, args=(child_conn, state, w),
+                daemon=True, name=f"repro-parallel-{w}",
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    def roll_round(self, deltas) -> None:
+        for conn in self._conns:
+            conn.send(("roll",))
+
+    def apply_fresh(self, updates, stats) -> None:
+        if not updates:
+            return
+        t0 = time.perf_counter()
+        payload = []
+        total = 0
+        for pred, rows in updates:
+            arity = len(rows[0]) if rows else 0
+            payload.append((pred, len(rows), arity, _flatten(rows)))
+            total += len(rows)
+        msg = ("apply", payload)
+        for conn in self._conns:
+            conn.send(msg)
+        stats.parallel_rows_shipped += total * len(self._conns)
+        stats.parallel_ship_seconds += time.perf_counter() - t0
+
+    def run_group(self, group, stats, deadline):
+        descriptors = [task.descriptor() for task in group]
+        msg = ("exec", deadline, descriptors)
+        for conn in self._conns:
+            conn.send(msg)
+        results = {task.task_id: (0, []) for task in group}
+        aborted = False
+        for w, conn in enumerate(self._conns):
+            try:
+                reply = conn.recv()
+            except (EOFError, OSError):
+                raise EvaluationError(
+                    f"parallel worker {w} exited unexpectedly"
+                )
+            if reply[0] == "error":
+                detail = reply[1]
+                if isinstance(detail, BaseException):
+                    raise detail
+                raise EvaluationError(f"parallel worker {w}: {detail}")
+            _tag, worker_aborted, entries = reply
+            aborted = aborted or worker_aborted
+            t0 = time.perf_counter()
+            for (task_id, n_emitted, probes, scanned, count, arity,
+                 buf) in entries:
+                rows = _unflatten(buf, arity, count)
+                total, merged = results[task_id]
+                merged.extend(rows)
+                results[task_id] = (total + n_emitted, merged)
+                stats.rule_firings += n_emitted
+                stats.join_probes += probes
+                stats.tuples_scanned += scanned
+                stats.parallel_tasks += 1
+                stats.parallel_rows_shipped += count
+                stats.parallel_worker_rows[w] = (
+                    stats.parallel_worker_rows.get(w, 0) + n_emitted
+                )
+            stats.parallel_ship_seconds += time.perf_counter() - t0
+        return results, aborted
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except Exception:
+                pass
+        deadline = time.monotonic() + 5.0
+        for proc in self._procs:
+            proc.join(max(0.1, deadline - time.monotonic()))
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+
+
+# ----------------------------------------------------------------------
+# the parallel fixpoint drivers
+# ----------------------------------------------------------------------
+
+def _run_groups(tasks, working, stats, meter, backend, sink) -> bool:
+    """One round's batches: group, dispatch, merge, broadcast.
+
+    ``sink(head_key, fresh)`` collects the round's new rows (the next
+    delta for semi-naive; ignored by naive).  Returns whether any batch
+    derived a new fact.
+    """
+    changed = False
+    deadline = getattr(meter, "deadline", None) if meter is not None else None
+    for group in _visibility_groups(tasks):
+        if meter is not None:
+            # one check per batch, at the same cadence the serial
+            # executor checks inside execute_batch
+            for _task in group:
+                meter.check_batch(stats.facts_derived, stats.tuples_scanned)
+        results, aborted = backend.run_group(group, stats, deadline)
+        if aborted:
+            # workers hit the wall-clock deadline between work items;
+            # the meter raises the same structured error the serial
+            # path would (the deadline that stopped them has passed)
+            if meter is not None:
+                meter.check_batch(stats.facts_derived, stats.tuples_scanned)
+            raise EvaluationError(
+                "parallel workers aborted on a deadline no meter owns"
+            )
+        stats.parallel_batches += len(group)
+        updates = []
+        for task in group:
+            n_emitted, rows = results[task.task_id]
+            if not n_emitted:
+                continue
+            relation = working.relation(task.head_key)
+            fresh = relation.add_id_rows(rows) if rows else []
+            n_fresh = len(fresh)
+            stats.duplicate_derivations += n_emitted - n_fresh
+            if n_fresh:
+                stats.record_facts(task.head_key, n_fresh)
+                sink(task.head_key, fresh)
+                updates.append((task.head_key, fresh))
+                changed = True
+        backend.apply_fresh(updates, stats)
+    return changed
+
+
+def _run_seminaive(program, working, compiled, shards, stats, backend,
+                   max_iterations, max_facts, meter) -> None:
+    task_id = 0
+    for stratum_index, stratum in enumerate(compiled.strata):
+        stratum_heads = frozenset(
+            program.rules[i].head.pred_key for i in stratum
+        )
+        deltas: Dict[str, List[IdTuple]] = {}
+
+        def sink(head_key, fresh, _deltas=deltas):
+            _deltas.setdefault(head_key, []).extend(fresh)
+
+        stats.iterations += 1
+        round_in_stratum = 1
+        if meter is not None:
+            meter.check_round(
+                stats.facts_derived, stats.tuples_scanned,
+                stratum_index, round_in_stratum, working,
+            )
+        tasks = []
+        for rule_index in stratum:
+            tasks.append(_full_task(
+                task_id, rule_index, program, shards, stratum_heads,
+                backend.workers,
+            ))
+            task_id += 1
+        _run_groups(tasks, working, stats, meter, backend, sink)
+
+        while deltas:
+            stats.iterations += 1
+            round_in_stratum += 1
+            _check_budget(
+                stats, stats.facts_derived, max_iterations, max_facts
+            )
+            if meter is not None:
+                meter.check_round(
+                    stats.facts_derived, stats.tuples_scanned,
+                    stratum_index, round_in_stratum, working,
+                )
+            backend.roll_round(deltas)
+            new_deltas: Dict[str, List[IdTuple]] = {}
+
+            def sink(head_key, fresh, _deltas=new_deltas):
+                _deltas.setdefault(head_key, []).extend(fresh)
+
+            tasks = []
+            for rule_index in stratum:
+                rule = program.rules[rule_index]
+                for occ in compiled.delta_occurrences(rule_index):
+                    if rule.body[occ].pred_key not in deltas:
+                        continue
+                    tasks.append(_delta_task(
+                        task_id, rule_index, occ, program, compiled,
+                        shards, stratum_heads, backend.workers,
+                    ))
+                    task_id += 1
+            _run_groups(tasks, working, stats, meter, backend, sink)
+            deltas = new_deltas
+            if max_facts is not None and stats.facts_derived > max_facts:
+                _check_budget(stats, stats.facts_derived, None, max_facts)
+
+
+def _run_naive(program, working, compiled, shards, stats, backend,
+               max_iterations, max_facts, meter) -> None:
+    task_id = 0
+
+    def sink(head_key, fresh):
+        pass
+
+    for stratum_index, stratum in enumerate(compiled.strata):
+        stratum_heads = frozenset(
+            program.rules[i].head.pred_key for i in stratum
+        )
+        changed = True
+        round_in_stratum = 0
+        while changed:
+            stats.iterations += 1
+            round_in_stratum += 1
+            _check_budget(
+                stats, stats.facts_derived, max_iterations, max_facts
+            )
+            if meter is not None:
+                meter.check_round(
+                    stats.facts_derived, stats.tuples_scanned,
+                    stratum_index, round_in_stratum, working,
+                )
+            backend.roll_round({})
+            tasks = []
+            for rule_index in stratum:
+                tasks.append(_full_task(
+                    task_id, rule_index, program, shards, stratum_heads,
+                    backend.workers,
+                ))
+                task_id += 1
+            changed = _run_groups(
+                tasks, working, stats, meter, backend, sink
+            )
+            if max_facts is not None and stats.facts_derived > max_facts:
+                _check_budget(stats, stats.facts_derived, None, max_facts)
+
+
+def evaluate_parallel(
+    program: Program,
+    database: Database,
+    method: str = "seminaive",
+    workers: int = 2,
+    backend: str = "auto",
+    max_iterations: Optional[int] = None,
+    max_facts: Optional[int] = None,
+    plan_cache: Optional[PlanCache] = None,
+    meter=None,
+) -> EvaluationResult:
+    """Bottom-up evaluation on the worker pool.
+
+    Called through ``evaluate*(..., workers=N)`` -- the engine routes
+    here when N > 1 and the batch planner path is active.  Fact sets
+    and solution counters match the serial engine exactly; the parallel
+    counters (``parallel_*`` on :class:`EvaluationStats`) record the
+    pool's shape and traffic.  The pool lives for exactly one
+    evaluation -- "persistent" across all its rounds, torn down in a
+    ``finally`` so budget trips, cancellations, injected faults, and
+    worker crashes leave only the untouched caller database behind.
+    """
+    if method not in ("naive", "seminaive"):
+        raise ValueError(f"unknown evaluation method {method!r}")
+    workers = int(workers)
+    if workers < 2:
+        raise ValueError("evaluate_parallel needs workers >= 2")
+    working = database.copy()
+    stats = EvaluationStats()
+    derived_keys = program.derived_predicates()
+    compiled = _compiled_for(program, working, stats, plan_cache)
+    shards = _ProgramShards(program, compiled)
+    resolved = resolve_backend(backend)
+    if resolved == "fork" and any(
+        plan_interns_terms(plan)
+        for plan in shards.all_plans(program, compiled)
+    ):
+        # run-time interning would grow worker-local ID spaces that
+        # disagree with the parent's; threads share one catalog
+        resolved = "thread"
+        stats.parallel_fallback = "plans intern terms: thread backend"
+    stats.parallel_workers = workers
+    stats.parallel_backend = resolved
+    if resolved == "fork":
+        pool = _ForkBackend(
+            working, compiled, shards,
+            _replica_preds(program, compiled, shards), workers,
+        )
+    else:
+        pool = _ThreadBackend(working, compiled, shards, workers)
+    try:
+        if method == "naive":
+            _run_naive(program, working, compiled, shards, stats, pool,
+                       max_iterations, max_facts, meter)
+        else:
+            _run_seminaive(program, working, compiled, shards, stats, pool,
+                           max_iterations, max_facts, meter)
+    finally:
+        pool.close()
+    return EvaluationResult(working, derived_keys, stats)

@@ -83,6 +83,8 @@ __all__ = [
     "subquery_program_for",
     "shared_plan_cache",
     "order_body",
+    "partition_columns",
+    "plan_interns_terms",
 ]
 
 # Op tags.  Key ops build the index-lookup key for a step; row ops process
@@ -952,6 +954,74 @@ def compile_rule(rule: Rule, delta_index: Optional[int] = None) -> JoinPlan:
     return JoinPlan(
         rule, delta_index, order, tuple(steps), tuple(head_ops), len(slots)
     )
+
+
+def partition_columns(plan: JoinPlan) -> Optional[Tuple[int, ...]]:
+    """Input-row positions to hash-partition a sharded execution on.
+
+    The parallel tier splits a plan's first-step input rows (a delta
+    batch, or a full relation treated as one) across workers.  Sharding
+    is *correct* for any split -- the solution multiset is partitioned
+    exactly because every input row is processed by exactly one worker
+    -- but probe locality is not free: :func:`_scan_batch_step` probes
+    once per distinct key per batch, so scattering equal join keys
+    across workers multiplies probes.  This helper finds the input-row
+    positions whose values feed the next probing step's key: hashing on
+    them keeps each distinct key's rows on one worker, so the per-shard
+    probe sets are disjoint and their union equals the serial probe set.
+
+    Returns None when no downstream step keys on an input column (the
+    caller falls back to rule-level parallelism, or to arbitrary
+    splitting when the plan has no probing step at all).
+    """
+    steps = plan.steps
+    if not steps or steps[0].negated:
+        return None
+    first = steps[0]
+    # frame slot -> input-row position, for the values step 0 stores
+    slot_to_pos: Dict[int, int] = {}
+    for pos, tag, payload in first.b_row_ops:
+        if tag == _STORE:
+            slot_to_pos[first.b_store_slots[payload]] = pos
+    if not slot_to_pos:
+        return None
+    for step in steps[1:]:
+        if not step.b_key_ops:
+            continue
+        positions = [
+            slot_to_pos[payload]
+            for tag, payload in step.b_key_ops
+            if tag == _SLOT and payload in slot_to_pos
+        ]
+        if positions:
+            return tuple(dict.fromkeys(positions))
+        # the first probing step keys on something the input does not
+        # supply (constants, or values bound by an intermediate step):
+        # partitioning the input cannot co-locate its keys
+        return None
+    return None
+
+
+def plan_interns_terms(plan: JoinPlan) -> bool:
+    """Whether executing the plan can intern *new* catalog terms.
+
+    Batch execution allocates term IDs in exactly two places: ``_MATCH``
+    row ops (structural patterns bind sub-terms via ``intern``) and
+    ``_EVAL`` / ``_UNBOUND`` head ops (constructed head values).  Key
+    ops only ever call ``id_of``, which never allocates.  Process-pool
+    workers share the parent's :class:`TermCatalog` by copy-on-write
+    fork, so a plan that interns at run time would grow worker-local ID
+    spaces that disagree with the parent -- such plans must run
+    serially (the parallel tier checks this gate per program).
+    """
+    for step in plan.steps:
+        for _pos, tag, _payload in step.b_row_ops:
+            if tag == _MATCH:
+                return True
+    for tag, _payload in plan.b_head_ops:
+        if tag in (_EVAL, _UNBOUND):
+            return True
+    return False
 
 
 class CompiledProgram:

@@ -106,6 +106,7 @@ class QueryScheduler:
         snapshots: SnapshotManager,
         *,
         reader_threads: int = 4,
+        workers: int = 1,
         memo_size: int = 256,
         max_timeout: Optional[float] = None,
         max_facts: Optional[int] = None,
@@ -119,6 +120,7 @@ class QueryScheduler:
             max_workers=max(1, reader_threads),
             thread_name_prefix="repro-reader",
         )
+        self._workers = max(1, workers)
         self._memo_size = memo_size
         self._memo: "OrderedDict[tuple, Dict[str, Any]]" = OrderedDict()
         self._inflight: Dict[tuple, "asyncio.Future"] = {}
@@ -267,6 +269,7 @@ class QueryScheduler:
             query,
             method=method,
             engine=options.get("engine", "seminaive"),
+            workers=self._workers,
             timeout=timeout,
             max_facts=max_facts,
         )

@@ -941,6 +941,7 @@ class Session:
         max_iterations: Optional[int] = None,
         max_facts: Optional[int] = None,
         use_planner: Optional[bool] = None,
+        workers: int = 1,
         timeout: Optional[float] = None,
         cancellation: Optional[CancellationToken] = None,
         budget: Optional[EvaluationBudget] = None,
@@ -972,6 +973,14 @@ class Session:
         participate in the memo key: a memo hit costs no evaluation, so
         it is served regardless of the budget, and aborted or degraded
         evaluations are never memoized.
+
+        ``workers`` > 1 runs the bottom-up evaluations (the baselines
+        and the evaluation behind every rewrite method) on the sharded
+        worker pool (:mod:`repro.datalog.parallel`); answers and the
+        solution counters are identical to serial.  QSQ is top-down and
+        ignores it.  ``workers`` participates in the memo key -- the
+        rows agree, but the memoized counters describe the run that
+        produced them.
         """
         query = self._as_query(query)
         if method not in SESSION_METHODS:
@@ -1033,6 +1042,7 @@ class Session:
             semijoin,
             max_iterations,
             use_planner,
+            workers,
             version,
         )
         cached = self._memo.get(key)
@@ -1060,6 +1070,7 @@ class Session:
                     semijoin,
                     max_iterations,
                     use_planner,
+                    workers,
                     meter,
                 )
             else:
@@ -1072,6 +1083,7 @@ class Session:
                     semijoin,
                     max_iterations,
                     use_planner,
+                    workers,
                     meter,
                 )
         except BudgetExceeded as exc:
@@ -1092,6 +1104,7 @@ class Session:
                 semijoin,
                 max_iterations,
                 use_planner,
+                workers,
                 meter,
             )
             executed = fallback
@@ -1247,6 +1260,7 @@ class Session:
         semijoin,
         max_iterations,
         use_planner,
+        workers,
         meter=None,
     ) -> Tuple[str, QueryAnswer]:
         # the decision depends on the query signature AND the options
@@ -1269,6 +1283,7 @@ class Session:
                     semijoin,
                     max_iterations,
                     use_planner,
+                    workers,
                     meter,
                 )
             except _AUTO_PROGRAM_REJECTIONS:
@@ -1290,6 +1305,7 @@ class Session:
             semijoin,
             max_iterations,
             use_planner,
+            workers,
             meter,
         )
         return choice, answer
@@ -1304,6 +1320,7 @@ class Session:
         semijoin,
         max_iterations,
         use_planner,
+        workers,
         meter=None,
     ) -> QueryAnswer:
         """One evaluation, no memo: the consolidated dispatch that used
@@ -1325,6 +1342,7 @@ class Session:
                 semijoin,
                 max_iterations,
                 use_planner,
+                workers,
                 meter,
             )
         except BudgetExceeded as exc:
@@ -1342,6 +1360,7 @@ class Session:
         semijoin,
         max_iterations,
         use_planner,
+        workers,
         meter,
     ) -> QueryAnswer:
         if method in ("naive", "seminaive"):
@@ -1355,6 +1374,7 @@ class Session:
                 use_planner,
                 plan_cache=self._plan_cache,
                 meter=meter,
+                workers=workers,
             )
         if method == "qsq":
             adorned = self._adorned_for(query)
@@ -1391,6 +1411,7 @@ class Session:
             use_planner=use_planner,
             plan_cache=self._plan_cache,
             meter=meter,
+            workers=workers,
         )
         return QueryAnswer(
             answers=rewritten.extract_answers(result),

@@ -443,3 +443,45 @@ class TestVersionCounter:
         assert dup.version == db.version + 1
         assert db.version == 1
         assert db.check_integrity() and dup.check_integrity()
+
+
+class TestEstimatedBytes:
+    """Regression: index bucket storage must be counted.
+
+    ``estimated_bytes`` used to charge only the column cells, so an
+    indexed relation reported the same footprint as an unindexed one
+    and ``max_memory_bytes`` budgets undercounted index-heavy
+    workloads by several x.
+    """
+
+    @staticmethod
+    def _filled(n=200, index=False):
+        rel = Relation("r")
+        for i in range(n):
+            rel.add((c(i), c(i % 7)))
+        if index:
+            rel.register_index((0,))
+            rel.register_index((1,))
+        return rel
+
+    def test_indexes_increase_the_estimate(self):
+        plain = self._filled()
+        indexed = self._filled(index=True)
+        assert indexed.estimated_bytes() > plain.estimated_bytes()
+
+    def test_per_bucket_overhead_is_charged(self):
+        # 200 rows under index (0,) is 200 singleton buckets; each one
+        # owns an array object and a dict entry, so the increment must
+        # be well above the 8-bytes-per-slot payload alone
+        plain = self._filled()
+        indexed = self._filled(index=True)
+        delta = indexed.estimated_bytes() - plain.estimated_bytes()
+        slots_only = 2 * 8 * 200  # two indexes, 8 bytes per stored slot
+        assert delta > 2 * slots_only
+
+    def test_database_rolls_up_relation_estimates(self):
+        db = Database()
+        db.add_values("par", [(i, i + 1) for i in range(50)])
+        base = db.estimated_bytes()
+        db.relation("par").register_index((0,))
+        assert db.estimated_bytes() > base
